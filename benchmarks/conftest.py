@@ -1,0 +1,130 @@
+"""Shared fixtures for the benchmark suite.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``   corpus scale (default 0.08; 1.0 = the paper's
+  full 40 500-byte draft — expect several minutes per figure);
+* ``REPRO_BENCH_WINDOWS`` comma-separated window counts.
+
+Figures 11, 12 and 13 come from the *same* runs in the paper, so the
+high-concurrency sweep is computed once per session and shared.
+Rendered tables/charts are written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import sweep_windows
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+DEFAULT_SCALE = 0.08
+DEFAULT_WINDOWS = (4, 5, 6, 7, 8, 10, 12, 16, 24, 32)
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+def bench_windows():
+    raw = os.environ.get("REPRO_BENCH_WINDOWS")
+    if not raw:
+        return list(DEFAULT_WINDOWS)
+    return [int(x) for x in raw.split(",") if x.strip()]
+
+
+@pytest.fixture(autouse=True)
+def _benchmark_anchor(benchmark):
+    """pytest-benchmark's ``--benchmark-only`` skips any test that does
+    not use the ``benchmark`` fixture.  The shape-assertion tests in
+    this directory *are* part of the benchmark suite (they check the
+    regenerated figures), so anchor the fixture into every test here.
+    """
+    yield
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def windows():
+    return bench_windows()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def _sweep_all_granularities(concurrency, windows, scale,
+                             working_set=False):
+    points = {}
+    for granularity in ("coarse", "medium", "fine"):
+        points[granularity] = sweep_windows(
+            concurrency, granularity, windows=windows, scale=scale,
+            working_set=working_set)
+    return points
+
+
+@pytest.fixture(scope="session")
+def high_sweep(windows, scale):
+    """scheme x granularity x window sweep at high concurrency
+    (feeds Figures 11, 12 and 13)."""
+    return _sweep_all_granularities("high", windows, scale)
+
+
+@pytest.fixture(scope="session")
+def low_sweep(windows, scale):
+    """The low-concurrency sweep (Figure 14)."""
+    return _sweep_all_granularities("low", windows, scale)
+
+
+@pytest.fixture(scope="session")
+def ws_sweep(windows, scale):
+    """High concurrency under working-set scheduling (Figure 15)."""
+    return _sweep_all_granularities("high", windows, scale,
+                                    working_set=True)
+
+
+def series_from(sweep, metric):
+    """{granularity: {scheme: [(windows, value)]}} from a sweep."""
+    out = {}
+    for granularity, by_scheme in sweep.items():
+        out[granularity] = {
+            scheme: [(p.n_windows, metric(p)) for p in points]
+            for scheme, points in by_scheme.items()}
+    return out
+
+
+def value_at(points, n_windows):
+    for x, y in points:
+        if x == n_windows:
+            return y
+    raise KeyError(n_windows)
+
+
+def write_series_report(path, title, series_by_gran, fmt="%.0f"):
+    """Dump every series as aligned text plus ASCII charts."""
+    from repro.metrics.reporting import ascii_chart
+
+    lines = [title, "=" * len(title), ""]
+    for granularity, by_scheme in series_by_gran.items():
+        lines.append("-- %s granularity" % granularity)
+        for scheme, points in sorted(by_scheme.items()):
+            lines.append("  %-4s %s" % (scheme, "  ".join(
+                "%d:%s" % (x, fmt % y) for x, y in points)))
+        chart = ascii_chart(
+            {s: pts for s, pts in by_scheme.items()},
+            width=60, height=14,
+            title="%s (%s)" % (title, granularity),
+            xlabel="number of windows")
+        lines.append(chart)
+        lines.append("")
+    path.write_text("\n".join(lines))

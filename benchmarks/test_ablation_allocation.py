@@ -1,0 +1,87 @@
+"""Ablation — window-allocation policies (§4.2).
+
+The paper evaluates only the simple policy and *predicts* that (a) the
+simple policy can ping-pong ("unnecessary spillage and restoration"
+when two threads alternate and one is windowless), and (b) searching
+for free windows or evicting an LRU stack-bottom "may be worth the
+extra cost".  These benches measure that prediction.
+"""
+
+import pytest
+
+from repro import Kernel
+from repro.apps.spellcheck import SpellConfig, run_spellchecker
+from repro.apps.synthetic import spawn_ping_pong
+from repro.core.allocation import (
+    FreeSearchAllocation,
+    LRUBottomAllocation,
+    SimpleAllocation,
+)
+from repro.metrics.reporting import format_table
+
+POLICIES = {
+    "simple": SimpleAllocation,
+    "free-search": FreeSearchAllocation,
+    "lru-bottom": LRUBottomAllocation,
+}
+
+
+def _ping_pong_transfers(scheme, policy_cls, n_windows=6, rounds=200):
+    kernel = Kernel(n_windows=n_windows, scheme=scheme,
+                    allocation=policy_cls())
+    spawn_ping_pong(kernel, rounds)
+    result = kernel.run(max_steps=2_000_000)
+    c = result.counters
+    return c.windows_spilled + c.windows_restored, c.total_cycles
+
+
+@pytest.fixture(scope="module")
+def ping_pong_results():
+    out = {}
+    for scheme in ("SNP", "SP"):
+        for name, cls in POLICIES.items():
+            out[(scheme, name)] = _ping_pong_transfers(scheme, cls)
+    return out
+
+
+def test_regenerate_allocation_ablation(benchmark, ping_pong_results,
+                                        results_dir):
+    def render():
+        rows = [[scheme, name, moved, cycles]
+                for (scheme, name), (moved, cycles)
+                in sorted(ping_pong_results.items())]
+        text = format_table(
+            ["scheme", "allocation", "windows moved", "cycles"], rows,
+            title="Ping-pong pathology (6 windows, 200 rounds), by "
+                  "allocation policy")
+        (results_dir / "ablation_allocation.txt").write_text(text)
+        return rows
+
+    benchmark.pedantic(render, rounds=1, iterations=1)
+
+
+class TestAllocationAblation:
+    @pytest.mark.parametrize("scheme", ["SNP", "SP"])
+    def test_free_search_never_moves_more(self, ping_pong_results,
+                                          scheme):
+        simple = ping_pong_results[(scheme, "simple")][0]
+        free = ping_pong_results[(scheme, "free-search")][0]
+        assert free <= simple
+
+    @pytest.mark.parametrize("scheme", ["SNP", "SP"])
+    def test_lru_never_moves_more(self, ping_pong_results, scheme):
+        simple = ping_pong_results[(scheme, "simple")][0]
+        lru = ping_pong_results[(scheme, "lru-bottom")][0]
+        assert lru <= simple
+
+    def test_policies_agree_on_the_spell_checker(self):
+        """With the real application and plentiful windows the policy
+        barely matters — allocation only triggers for windowless
+        threads; results must be identical regardless."""
+        outputs = set()
+        for cls in POLICIES.values():
+            config = SpellConfig.named("high", "fine", scale=0.02)
+            __, output = run_spellchecker(6, "SP", config,
+                                          allocation=cls())
+            outputs.add(output)
+        assert len(outputs) == 1

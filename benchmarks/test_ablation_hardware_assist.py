@@ -1,0 +1,78 @@
+"""Ablation — the multi-threaded-architecture implication (§6.2, §7).
+
+The paper argues the algorithm transfers directly to multi-threaded
+architectures: the best-case switch "will be reduced to zero or a few
+cycles, if the proposed algorithm is implemented in multi-threaded
+architecture", leaving only genuine window-transfer memory traffic.
+We rerun the high-concurrency fine-granularity sweep under a
+hardware-assisted cost model and measure the residual switching cost.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.apps.spellcheck import SpellConfig, build_spellchecker
+from repro.core.costs import CostModel
+from repro.metrics.reporting import format_table
+from repro.runtime.kernel import Kernel
+
+
+def _run(scheme, n_windows, cost_model, scale):
+    config = SpellConfig.named("high", "fine", scale=scale)
+    kernel = Kernel(n_windows=n_windows, scheme=scheme,
+                    cost_model=cost_model, verify_registers=False)
+    build_spellchecker(kernel, config)
+    return kernel.run().counters
+
+
+@pytest.fixture(scope="module")
+def hw_results():
+    scale = min(bench_scale(), 0.08)
+    out = {}
+    for scheme in ("NS", "SP"):
+        for label, model in (("software", CostModel()),
+                             ("hardware", CostModel.hardware_assisted())):
+            out[(scheme, label)] = _run(scheme, 12, model, scale)
+    return out
+
+
+def test_regenerate_hw_assist_ablation(benchmark, hw_results,
+                                       results_dir):
+    def render():
+        rows = []
+        for (scheme, label), c in sorted(hw_results.items()):
+            rows.append([scheme, label, c.avg_switch_cycles,
+                         c.switch_cycles, c.trap_cycles,
+                         c.total_cycles])
+        text = format_table(
+            ["scheme", "cost model", "avg switch", "switch cycles",
+             "trap cycles", "total cycles"],
+            rows, title="Software trap handlers vs hardware-assisted "
+                        "(spell checker, high/fine, 12 windows)")
+        (results_dir / "ablation_hardware_assist.txt").write_text(text)
+        return rows
+
+    benchmark.pedantic(render, rounds=1, iterations=1)
+
+
+class TestHardwareAssist:
+    def test_sp_best_case_becomes_a_few_cycles(self, hw_results):
+        hw = hw_results[("SP", "hardware")]
+        assert hw.avg_switch_cycles < 15
+
+    def test_hardware_helps_sp_more_than_ns(self, hw_results):
+        """NS still moves every window through memory; SP's switches
+        were mostly fixed overhead, which hardware eliminates."""
+        sp_gain = (hw_results[("SP", "software")].switch_cycles
+                   / max(1, hw_results[("SP", "hardware")].switch_cycles))
+        ns_gain = (hw_results[("NS", "software")].switch_cycles
+                   / max(1, hw_results[("NS", "hardware")].switch_cycles))
+        assert sp_gain > ns_gain
+
+    def test_event_counts_unchanged_by_cost_model(self, hw_results):
+        for scheme in ("NS", "SP"):
+            sw = hw_results[(scheme, "software")]
+            hw = hw_results[(scheme, "hardware")]
+            assert sw.saves == hw.saves
+            assert sw.context_switches == hw.context_switches
+            assert sw.window_traps == hw.window_traps

@@ -1,0 +1,71 @@
+"""Ablation — the two types of context switching (§4.4).
+
+Leaving a long sleeper's windows in place wastes them: they get
+evicted one overflow trap at a time (trap entry/exit paid per window).
+Flushing them at switch time is cheaper per window.  The paper argues
+this qualitatively; we measure it on the fork/join workload whose
+parent sleeps while its children grind.
+"""
+
+import pytest
+
+from repro import Kernel
+from repro.apps.synthetic import (
+    expected_fork_join_total,
+    spawn_fork_join,
+)
+from repro.metrics.reporting import format_table
+
+
+def _run(flush_hint, scheme="SP", n_windows=6, items=150):
+    kernel = Kernel(n_windows=n_windows, scheme=scheme)
+    spawn_fork_join(kernel, n_children=4, items=items,
+                    flush_hint=flush_hint)
+    result = kernel.run(max_steps=4_000_000)
+    assert result.result_of("parent") == expected_fork_join_total(items)
+    return result.counters
+
+
+@pytest.fixture(scope="module")
+def switch_type_results():
+    return {
+        ("SP", False): _run(False, "SP"),
+        ("SP", True): _run(True, "SP"),
+        ("SNP", False): _run(False, "SNP"),
+        ("SNP", True): _run(True, "SNP"),
+    }
+
+
+def test_regenerate_switch_type_ablation(benchmark, switch_type_results,
+                                         results_dir):
+    def render():
+        rows = []
+        for (scheme, flush), c in sorted(switch_type_results.items()):
+            rows.append([scheme, "flush" if flush else "in situ",
+                         c.overflow_traps, c.trap_cycles,
+                         c.total_cycles])
+        text = format_table(
+            ["scheme", "long-sleep switch", "overflow traps",
+             "trap cycles", "total cycles"],
+            rows, title="Flush-type vs leave-in-situ context switches "
+                        "(fork/join, 6 windows)")
+        (results_dir / "ablation_switch_types.txt").write_text(text)
+        return rows
+
+    benchmark.pedantic(render, rounds=1, iterations=1)
+
+
+class TestSwitchTypes:
+    @pytest.mark.parametrize("scheme", ["SP", "SNP"])
+    def test_flush_reduces_overflow_traps(self, switch_type_results,
+                                          scheme):
+        in_situ = switch_type_results[(scheme, False)]
+        flushed = switch_type_results[(scheme, True)]
+        assert flushed.overflow_traps <= in_situ.overflow_traps
+
+    @pytest.mark.parametrize("scheme", ["SP", "SNP"])
+    def test_flush_reduces_trap_cycles(self, switch_type_results,
+                                       scheme):
+        in_situ = switch_type_results[(scheme, False)]
+        flushed = switch_type_results[(scheme, True)]
+        assert flushed.trap_cycles <= in_situ.trap_cycles

@@ -1,0 +1,78 @@
+"""Ablation — Tamir & Sequin transfer depth (paper §2).
+
+"Tamir and Sequin studied the effect of the number of windows to be
+saved or restored for each overflow or underflow trap, and showed that
+transferring one window is the best in most cases."  We re-verify the
+claim on our workload: NS with transfer depths 1, 2 and 4.
+"""
+
+import pytest
+
+from repro.apps.spellcheck import SpellConfig
+from repro.metrics.reporting import format_table
+
+DEPTHS = (1, 2, 4)
+
+
+def _run_with_depth(depth, n_windows=7, scale=0.05):
+    from repro.core.working_set import FIFOPolicy
+    from repro.runtime.kernel import Kernel
+    from repro.apps.spellcheck import build_spellchecker
+
+    config = SpellConfig.named("high", "medium", scale=scale)
+    kernel = Kernel(n_windows=n_windows, scheme="NS",
+                    queue_policy=FIFOPolicy(), verify_registers=False,
+                    scheme_kwargs={"transfer_depth": depth})
+    build_spellchecker(kernel, config)
+    return kernel.run()
+
+
+@pytest.fixture(scope="module")
+def depth_results():
+    return {depth: _run_with_depth(depth) for depth in DEPTHS}
+
+
+def test_regenerate_transfer_depth_ablation(benchmark, depth_results,
+                                            results_dir):
+    def render():
+        rows = []
+        for depth, result in sorted(depth_results.items()):
+            c = result.counters
+            rows.append([depth, c.overflow_traps, c.underflow_traps,
+                         c.windows_spilled + c.windows_restored,
+                         c.trap_cycles, c.total_cycles])
+        text = format_table(
+            ["transfer depth", "overflows", "underflows",
+             "windows moved", "trap cycles", "total cycles"],
+            rows, title="NS scheme, spell checker (high/medium, "
+                        "7 windows): windows per trap")
+        (results_dir / "ablation_transfer_depth.txt").write_text(text)
+        return rows
+
+    benchmark.pedantic(render, rounds=1, iterations=1)
+
+
+class TestTransferDepth:
+    def test_results_identical(self, depth_results):
+        outputs = {r.result_of("T5.output")
+                   for r in depth_results.values()}
+        assert len(outputs) == 1
+
+    def test_deeper_transfers_mean_fewer_traps(self, depth_results):
+        traps = {d: r.counters.window_traps
+                 for d, r in depth_results.items()}
+        assert traps[4] <= traps[2] <= traps[1]
+
+    def test_deeper_transfers_move_more_windows(self, depth_results):
+        moved = {d: (r.counters.windows_spilled
+                     + r.counters.windows_restored)
+                 for d, r in depth_results.items()}
+        assert moved[4] >= moved[2] >= moved[1]
+
+    def test_depth_one_is_best_or_near_best(self, depth_results):
+        """The Tamir & Sequin conclusion the paper adopts: on total
+        cycles, depth 1 wins (deeper prefetch moves windows that are
+        never used before the next flush)."""
+        cycles = {d: r.counters.total_cycles
+                  for d, r in depth_results.items()}
+        assert cycles[1] <= min(cycles[2], cycles[4]) * 1.02

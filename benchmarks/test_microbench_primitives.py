@@ -1,0 +1,115 @@
+"""Microbenchmarks of the simulator primitives themselves (host-side
+performance, measured by pytest-benchmark): the save/restore hot path,
+trap handling, context switches, and a full tiny pipeline."""
+
+import pytest
+
+from repro import Call, CloseStream, Kernel, Read, Tick, Write
+from repro.isa import Machine, assemble
+from repro.isa.programs import FIBONACCI
+from tests.helpers import (
+    call,
+    call_to_depth,
+    dispatch,
+    make_machine,
+    new_thread,
+    ret,
+)
+
+
+def test_save_restore_hot_path(benchmark):
+    """Trap-free call/return oscillation."""
+    cpu, scheme = make_machine(8, "SP")
+    tw = new_thread(scheme, 0)
+    dispatch(cpu, scheme, None, tw)
+    call_to_depth(cpu, tw, 3)
+
+    def oscillate():
+        call(cpu, tw)
+        ret(cpu, tw)
+
+    benchmark(oscillate)
+
+
+def test_overflow_underflow_cycle(benchmark):
+    """Unwind through an in-place underflow, climb back through an
+    overflow — one full trap cycle per iteration."""
+    cpu, scheme = make_machine(4, "SNP")
+    tw = new_thread(scheme, 0)
+    dispatch(cpu, scheme, None, tw)
+    call_to_depth(cpu, tw, 6)
+
+    def trap_cycle():
+        while tw.resident > 1:
+            ret(cpu, tw)
+        ret(cpu, tw)              # in-place underflow
+        call_to_depth(cpu, tw, 6)  # overflow on the way back up
+
+    benchmark(trap_cycle)
+    assert cpu.counters.overflow_traps > 0
+    assert cpu.counters.underflow_traps > 0
+
+
+@pytest.mark.parametrize("scheme_name", ["NS", "SNP", "SP"])
+def test_context_switch_cost(benchmark, scheme_name):
+    cpu, scheme = make_machine(10, scheme_name)
+    t1 = new_thread(scheme, 0)
+    t2 = new_thread(scheme, 1)
+    dispatch(cpu, scheme, None, t1)
+    call_to_depth(cpu, t1, 3)
+    dispatch(cpu, scheme, t1, t2)
+    call_to_depth(cpu, t2, 3)
+    state = {"current": t2, "other": t1}
+
+    def switch():
+        scheme.context_switch(state["current"], state["other"])
+        state["current"], state["other"] = (state["other"],
+                                            state["current"])
+
+    benchmark(switch)
+
+
+def test_kernel_pipeline_throughput(benchmark):
+    """End-to-end: a small producer/consumer run per iteration."""
+
+    def run_once():
+        kernel = Kernel(n_windows=8, scheme="SP",
+                        verify_registers=False)
+        stream = kernel.stream(4, "s")
+
+        def producer(s):
+            for i in range(50):
+                yield Write(s, bytes([i]))
+            yield CloseStream(s)
+            return None
+
+        def consumer(s):
+            total = 0
+            while True:
+                data = yield Read(s, 8)
+                if not data:
+                    return total
+                total += sum(data)
+                yield Call(_leaf, len(data))
+
+        def _leaf(n):
+            yield Tick(n)
+            return n
+
+        kernel.spawn(producer, stream, name="p")
+        kernel.spawn(consumer, stream, name="c")
+        return kernel.run().result_of("c")
+
+    assert benchmark(run_once) == sum(range(50))
+
+
+def test_isa_interpreter_throughput(benchmark):
+    program = assemble(FIBONACCI)
+
+    def run_fib():
+        machine = Machine(program, n_windows=6, scheme="SP")
+        thread = machine.add_thread("start")
+        machine.run()
+        return thread.exit_value
+
+    assert benchmark(run_fib) == 55

@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Regenerate the paper's explanatory figures (3, 4 and 8) from live
+simulator state: the basic overflow/underflow traps, and the proposed
+in-place underflow restore that makes window sharing possible.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.windows.diagrams import reenact_all
+
+
+def main():
+    for item in reenact_all():
+        print("=" * 64)
+        print(item)
+        print()
+
+
+if __name__ == "__main__":
+    main()

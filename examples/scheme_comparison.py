@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Compare the NS / SNP / SP schemes across window counts on the spell
+checker — a miniature of the paper's Figure 11, drawn in the terminal.
+
+Run:  python examples/scheme_comparison.py [scale]
+"""
+
+import sys
+
+from repro.experiments.figures import run_fig11
+from repro.metrics.reporting import format_table
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.08
+    windows = [4, 6, 8, 12, 16, 24, 32]
+
+    print("sweeping %s windows x 3 schemes x 3 granularities "
+          "(scale %.2f)..." % (windows, scale))
+    figure = run_fig11(windows=windows, scale=scale)
+
+    for granularity in ("coarse", "medium", "fine"):
+        print()
+        print(figure.chart(granularity))
+
+    # The paper's headline claims, checked numerically:
+    print()
+    rows = []
+    for granularity in ("coarse", "medium", "fine"):
+        ns4 = figure.value("NS", granularity, 4)
+        sp4 = figure.value("SP", granularity, 4)
+        ns32 = figure.value("NS", granularity, 32)
+        sp32 = figure.value("SP", granularity, 32)
+        rows.append([granularity,
+                     "NS" if ns4 < sp4 else "SP",
+                     "SP" if sp32 < ns32 else "NS",
+                     "%.2fx" % (ns32 / sp32)])
+    print(format_table(
+        ["granularity", "best @ 4 windows", "best @ 32", "NS/SP @ 32"],
+        rows, title="Who wins where (paper: NS at few windows, SP with "
+                    "enough; gap widens as granularity gets finer)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""repro — Multiple Threads in Cyclic Register Windows (ISCA 1993).
+
+A faithful Python reproduction of Hidaka, Koike & Tanaka's window-
+management algorithm, its SNP/SP sharing schemes and NS baseline, the
+working-set scheduling policy, and the paper's full evaluation (the
+multi-threaded spell checker, Tables 1-2, Figures 11-15).
+
+Quickstart::
+
+    from repro import Kernel, Tick, Call
+
+    def leaf(n):
+        yield Tick(5)
+        return n * n
+
+    def root():
+        total = 0
+        for i in range(4):
+            total += (yield Call(leaf, i))
+        return total
+
+    kernel = Kernel(n_windows=8, scheme="SP")
+    kernel.spawn(root, name="main")
+    result = kernel.run()
+    print(result.result_of("main"), result.total_cycles)
+"""
+
+from repro.core import (
+    CostModel,
+    FIFOPolicy,
+    FreeSearchAllocation,
+    LRUBottomAllocation,
+    NSScheme,
+    PAPER_TABLE2,
+    SCHEMES,
+    SimpleAllocation,
+    SNPScheme,
+    SPScheme,
+    WorkingSetPolicy,
+    make_scheme,
+)
+from repro.metrics.counters import Counters
+from repro.runtime import (
+    Call,
+    CloseStream,
+    DeadlockError,
+    FlushHint,
+    Join,
+    Kernel,
+    Read,
+    ReadLine,
+    RunResult,
+    Spawn,
+    Stream,
+    Tick,
+    Write,
+    YieldCPU,
+)
+from repro.windows import WindowCPU, WindowFile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "FIFOPolicy",
+    "FreeSearchAllocation",
+    "LRUBottomAllocation",
+    "NSScheme",
+    "PAPER_TABLE2",
+    "SCHEMES",
+    "SimpleAllocation",
+    "SNPScheme",
+    "SPScheme",
+    "WorkingSetPolicy",
+    "make_scheme",
+    "Counters",
+    "Call",
+    "CloseStream",
+    "DeadlockError",
+    "FlushHint",
+    "Kernel",
+    "Read",
+    "ReadLine",
+    "RunResult",
+    "Stream",
+    "Tick",
+    "Write",
+    "YieldCPU",
+    "WindowCPU",
+    "WindowFile",
+    "__version__",
+]

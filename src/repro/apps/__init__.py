@@ -1,0 +1,2 @@
+"""Workloads: the paper's multi-threaded spell checker and synthetic
+workloads used for ablations and tests."""

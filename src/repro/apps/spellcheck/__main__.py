@@ -1,0 +1,104 @@
+"""Command-line spell checker: ``python -m repro.apps.spellcheck``.
+
+Checks a LaTeX file (or the built-in synthetic corpus) by running the
+full seven-thread pipeline on the window simulator and prints the
+misspelling report plus simulation statistics.
+
+    python -m repro.apps.spellcheck paper.tex
+    python -m repro.apps.spellcheck --scheme NS --windows 7 --stats
+    python -m repro.apps.spellcheck --m 1024 --n 4   # low concurrency
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.spellcheck.corpus import (
+    DICT_SIZE,
+    generate_corpus,
+    generate_dictionaries,
+)
+from repro.apps.spellcheck.delatex import delatex_thread
+from repro.apps.spellcheck.io_threads import (
+    file_sink_thread,
+    file_source_thread,
+)
+from repro.apps.spellcheck.spell import spell1_thread, spell2_thread
+from repro.runtime.kernel import Kernel
+
+
+def check_document(document: bytes, dict1: bytes, dict2: bytes,
+                   m: int, n: int, scheme: str, n_windows: int):
+    """Run the pipeline over arbitrary document bytes."""
+    kernel = Kernel(n_windows=n_windows, scheme=scheme,
+                    verify_registers=False)
+    s1 = kernel.stream(m, "S1")
+    s2 = kernel.stream(n, "S2")
+    s3 = kernel.stream(n, "S3")
+    s4 = kernel.stream(m, "S4")
+    s5 = kernel.stream(m, "S5")
+    s6 = kernel.stream(m, "S6")
+    kernel.spawn(delatex_thread, s1, s2, name="T1.delatex")
+    kernel.spawn(spell1_thread, s5, s2, s3, name="T2.spell1")
+    kernel.spawn(spell2_thread, s6, s3, s4, name="T3.spell2")
+    kernel.spawn(file_source_thread, s1, document, name="T4.input")
+    kernel.spawn(file_sink_thread, s4, name="T5.output")
+    kernel.spawn(file_source_thread, s5, dict1, name="T6.dict1")
+    kernel.spawn(file_source_thread, s6, dict2, name="T7.dict2")
+    result = kernel.run()
+    return result, result.result_of("T5.output")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.apps.spellcheck",
+        description="Multi-threaded spell checker on the register-"
+                    "window simulator (the paper's Figure 10).")
+    parser.add_argument("file", nargs="?",
+                        help="LaTeX file to check (default: the "
+                             "built-in synthetic corpus)")
+    parser.add_argument("--scheme", default="SP",
+                        choices=["NS", "SNP", "SP"])
+    parser.add_argument("--windows", type=int, default=8)
+    parser.add_argument("--m", type=int, default=16,
+                        help="I/O stream buffer bytes (S1, S4-S6)")
+    parser.add_argument("--n", type=int, default=16,
+                        help="filter stream buffer bytes (S2, S3)")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="synthetic corpus scale when no file given")
+    parser.add_argument("--stats", action="store_true",
+                        help="print simulation statistics")
+    args = parser.parse_args(argv)
+
+    if args.file:
+        with open(args.file, "rb") as handle:
+            document = handle.read()
+        dict_size = DICT_SIZE
+    else:
+        document = generate_corpus(scale=args.scale)
+        dict_size = max(200, int(round(DICT_SIZE * args.scale)))
+    dict1, dict2, __ = generate_dictionaries(size=dict_size)
+
+    result, report = check_document(document, dict1, dict2,
+                                    args.m, args.n, args.scheme,
+                                    args.windows)
+    words = [w for w in report.decode("ascii").split("\n") if w]
+    print("%d possibly-misspelled words:" % len(words))
+    for word in words:
+        print("  " + word)
+    if args.stats:
+        c = result.counters
+        print()
+        print("scheme=%s windows=%d M=%d N=%d" % (
+            args.scheme, args.windows, args.m, args.n))
+        print("cycles=%d switches=%d saves=%d traps=%d/%d "
+              "avg-switch=%.1f" % (
+                  c.total_cycles, c.context_switches, c.saves,
+                  c.overflow_traps, c.underflow_traps,
+                  c.avg_switch_cycles))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""T1 — the ``delatex`` filter: strip LaTeX, emit one word per line.
+
+The paper's T1 was generated with ``lex``; ours is a hand-written
+streaming state machine with the same contract: LaTeX commands, math,
+comments and punctuation are removed, and every surviving word comes
+out lowercased on its own line (§5.1).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.ops import Call, CloseStream, Read, Tick, Write
+
+TEXT = 0
+COMMAND = 1
+COMMENT = 2
+MATH = 3
+
+
+class LexState:
+    """Carries the scanner state across stream chunks."""
+
+    __slots__ = ("mode", "token")
+
+    def __init__(self):
+        self.mode = TEXT
+        self.token = []
+
+
+def delatex_thread(s_in, s_out, read_chunk: int = 64):
+    """Root procedure of T1.
+
+    Input is re-buffered into fixed ``read_chunk``-byte units before
+    each ``process_block`` call, so the dynamic count of procedure
+    calls (and therefore ``save`` instructions) depends only on the
+    input, never on the stream buffer sizes — the property Table 1
+    rests on ("the dynamic count of save instructions is independent
+    of the buffer size and scheduling strategy").
+    """
+    state = LexState()
+    words = 0
+    buf = b""
+    eof = False
+    while not eof:
+        data = yield Read(s_in, read_chunk)
+        if not data:
+            eof = True
+        else:
+            buf += data
+        while len(buf) >= read_chunk or (eof and buf):
+            piece, buf = buf[:read_chunk], buf[read_chunk:]
+            words += yield Call(process_block, s_out, piece, state)
+    if state.mode == TEXT and len(state.token) >= 2:
+        words += yield Call(emit_word, s_out, "".join(state.token))
+    yield CloseStream(s_out)
+    return words
+
+
+def process_block(s_out, data, state):
+    """Scan one chunk; emits completed words as it goes."""
+    yield Tick(12 * len(data))
+    count = 0
+    mode = state.mode
+    token = state.token
+    for byte in data:
+        ch = chr(byte)
+        if mode == COMMENT:
+            if ch == "\n":
+                mode = TEXT
+            continue
+        if mode == MATH:
+            if ch == "$":
+                mode = TEXT
+            continue
+        if mode == COMMAND:
+            if ch.isalpha():
+                continue
+            mode = TEXT
+            # fall through: this character still needs normal handling
+        if ch == "%":
+            if token:
+                count += yield from _finish(s_out, token)
+            mode = COMMENT
+        elif ch == "$":
+            if token:
+                count += yield from _finish(s_out, token)
+            mode = MATH
+        elif ch == "\\":
+            if token:
+                count += yield from _finish(s_out, token)
+            mode = COMMAND
+        elif ch.isalpha():
+            token.append(ch.lower())
+        else:
+            if token:
+                count += yield from _finish(s_out, token)
+    state.mode = mode
+    state.token = token
+    return count
+
+
+def _finish(s_out, token):
+    """Close the current token; words shorter than 2 letters are noise."""
+    word = "".join(token)
+    del token[:]
+    if len(word) < 2:
+        return 0
+    emitted = yield Call(emit_word, s_out, word)
+    return emitted
+
+
+def emit_word(s_out, word: str):
+    """Leaf procedure: one word, one line."""
+    yield Tick(30)
+    yield Write(s_out, word.encode("ascii") + b"\n")
+    return 1

@@ -1,0 +1,86 @@
+"""Reference (sequential) execution of the spell-checker procedures.
+
+Runs the *same* generator procedures as the multi-threaded pipeline,
+but on a trivial synchronous trampoline with unbounded in-memory
+streams and no register windows at all.  Comparing the pipeline output
+against this oracle for every scheme and window count proves that
+window management never corrupts application results.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.apps.spellcheck.delatex import delatex_thread
+from repro.apps.spellcheck.io_threads import file_sink_thread
+from repro.apps.spellcheck.spell import spell1_thread, spell2_thread
+from repro.runtime.ops import Call, CloseStream, Read, ReadLine, Tick, Write
+
+
+class _FakeStream:
+    """Unbounded FIFO; never blocks."""
+
+    def __init__(self):
+        self.data = bytearray()
+        self.closed = False
+
+    def pull(self, max_bytes):
+        take = min(max_bytes, len(self.data))
+        out = bytes(self.data[:take])
+        del self.data[:take]
+        return out
+
+
+def run_procedure(root_gen):
+    """Synchronously run one generator procedure tree to completion."""
+    stack = [root_gen]
+    send_value = None
+    while stack:
+        gen = stack[-1]
+        try:
+            cmd = gen.send(send_value)
+        except StopIteration as stop:
+            stack.pop()
+            send_value = getattr(stop, "value", None)
+            continue
+        t = type(cmd)
+        if t is Call:
+            stack.append(cmd.factory(*cmd.args))
+            send_value = None
+        elif t is Tick:
+            send_value = None
+        elif t is Read:
+            send_value = cmd.stream.pull(cmd.max_bytes)
+        elif t is ReadLine:
+            raise NotImplementedError("oracle streams are chunk-based")
+        elif t is Write:
+            cmd.stream.data.extend(cmd.data)
+            send_value = None
+        elif t is CloseStream:
+            cmd.stream.closed = True
+            send_value = None
+        else:
+            raise TypeError("unexpected op %r" % cmd)
+    return send_value
+
+
+def run_reference(corpus: bytes, dict1: bytes, dict2: bytes,
+                  read_chunk: int = 64) -> Tuple[bytes, dict]:
+    """Sequential spell check; returns (report bytes, thread results).
+
+    Threads run to completion in topological order, which is legal
+    because the fake streams are unbounded.
+    """
+    s1, s2, s3, s4, s5, s6 = (_FakeStream() for _ in range(6))
+    s1.data.extend(corpus)
+    s5.data.extend(dict1)
+    s6.data.extend(dict2)
+    results = {}
+    results["T1.delatex"] = run_procedure(delatex_thread(s1, s2, read_chunk))
+    results["T2.spell1"] = run_procedure(
+        spell1_thread(s5, s2, s3, read_chunk))
+    results["T3.spell2"] = run_procedure(
+        spell2_thread(s6, s3, s4, read_chunk))
+    report = run_procedure(file_sink_thread(s4, read_chunk))
+    results["T5.output"] = report
+    return report, results

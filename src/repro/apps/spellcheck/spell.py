@@ -1,0 +1,183 @@
+"""T2 (spell1) and T3 (spell2): the two-stage spell check of §5.1.
+
+* T3 accepts a word if it is in the base dictionary (dict2) or if
+  naive suffix stripping produces a stem that is — which would wrongly
+  accept malformed derivatives ("runing", "trys", ...).
+* T2 runs first and catches exactly those: a word that looks like a
+  derivative (naive stem is a known base) but is not one of the *valid*
+  derivative forms (dict1) is flagged as incorrect and forwarded to
+  the output thread through T3, marked with a leading ``!``.
+
+Both threads read their dictionary stream completely before starting
+on words — the "reading the dictionaries" phase whose concurrency the
+paper analyses separately (§5.2).
+"""
+
+from __future__ import annotations
+
+from repro.apps.spellcheck.corpus import SUFFIXES, derive, naive_strip
+from repro.runtime.ops import Call, CloseStream, Read, Tick, Write
+
+BAD_MARK = b"!"
+
+
+def load_dictionary(s_dict, read_chunk: int = 64):
+    """Read a dictionary stream to EOF, building the word set.
+
+    Input is re-buffered into fixed units so the call count (and the
+    dynamic ``save`` count) is independent of the stream buffer size.
+    """
+    words = set()
+    residue = b""
+    buf = b""
+    eof = False
+    while not eof:
+        data = yield Read(s_dict, read_chunk)
+        if not data:
+            eof = True
+        else:
+            buf += data
+        while len(buf) >= read_chunk or (eof and buf):
+            piece, buf = buf[:read_chunk], buf[read_chunk:]
+            residue = yield Call(insert_chunk, words, residue + piece)
+    if residue and not residue.startswith(b"#"):
+        words.add(residue.decode("ascii"))
+    return words
+
+
+def insert_chunk(words, data):
+    """Split a chunk into complete lines and insert them; the trailing
+    partial line is handed back as residue."""
+    lines = data.split(b"\n")
+    residue = lines.pop()
+    yield Tick(6 * len(data))
+    for line in lines:
+        if line and not line.startswith(b"#"):
+            yield Call(insert_word, words, line)
+    return residue
+
+
+def insert_word(words, line):
+    yield Tick(35)  # hash and probe
+    words.add(line.decode("ascii"))
+    return len(words)
+
+
+def lookup(words, word: str):
+    """Leaf hash probe."""
+    yield Tick(30)
+    return word in words
+
+
+# -- T2: spell1 ------------------------------------------------------------
+
+
+def spell1_thread(s_dict, s_in, s_out, read_chunk: int = 64):
+    """Root procedure of T2."""
+    bases = yield Call(load_dictionary, s_dict, read_chunk)
+    flagged = 0
+    passed = 0
+    residue = b""
+    while True:
+        data = yield Read(s_in, read_chunk)
+        if not data:
+            break
+        lines = (residue + data).split(b"\n")
+        residue = lines.pop()
+        for line in lines:
+            if not line:
+                continue
+            bad = yield Call(check_derivative, line, bases)
+            if bad:
+                flagged += 1
+                yield Write(s_out, BAD_MARK + line + b"\n")
+            else:
+                passed += 1
+                yield Write(s_out, line + b"\n")
+    yield CloseStream(s_out)
+    return flagged, passed
+
+
+def check_derivative(line, bases):
+    """Is this word a *malformed* derivative?
+
+    True when a naive stem of the word is a known derivable base (so T3
+    would wrongly accept it via stripping) but no spelling rule derives
+    the word from any known base — e.g. "moveing" (should be "moving")
+    or "trys" (should be "tries").
+    """
+    word = line.decode("ascii")
+    yield Tick(15)
+    if not word.endswith(SUFFIXES):
+        return False
+    looks_derived = False
+    for suffix in SUFFIXES:
+        if not word.endswith(suffix) or len(word) <= len(suffix) + 2:
+            continue
+        stem = word[: -len(suffix)]
+        candidates = [stem, stem + "e"]
+        if stem.endswith("i"):
+            candidates.append(stem[:-1] + "y")
+        for base in candidates:
+            if (yield Call(lookup, bases, base)):
+                looks_derived = True
+                if derive(base, suffix) == word:
+                    return False  # a rule-correct derivative
+    return looks_derived
+
+
+# -- T3: spell2 --------------------------------------------------------------
+
+
+def spell2_thread(s_dict, s_in, s_out, read_chunk: int = 64):
+    """Root procedure of T3."""
+    bases = yield Call(load_dictionary, s_dict, read_chunk)
+    reported = 0
+    accepted = 0
+    residue = b""
+    while True:
+        data = yield Read(s_in, read_chunk)
+        if not data:
+            break
+        lines = (residue + data).split(b"\n")
+        residue = lines.pop()
+        for line in lines:
+            if not line:
+                continue
+            if line.startswith(BAD_MARK):
+                # T2 already judged this one: pass it straight through.
+                reported += 1
+                yield Call(report_word, s_out, line[1:])
+                continue
+            ok = yield Call(check_word, line, bases)
+            if ok:
+                accepted += 1
+            else:
+                reported += 1
+                yield Call(report_word, s_out, line)
+    yield CloseStream(s_out)
+    return reported, accepted
+
+
+def check_word(line, bases):
+    """Accept a word in the base dictionary or derivable from one."""
+    word = line.decode("ascii")
+    if (yield Call(lookup, bases, word)):
+        return True
+    for stem in naive_strip(word):
+        if (yield Call(lookup, bases, stem)):
+            return True
+        # handle e-dropping and y->ie rewrites from derive()
+        if stem.endswith("i") and (yield Call(lookup, bases,
+                                              stem[:-1] + "y")):
+            return True
+        if (yield Call(lookup, bases, stem + "e")):
+            return True
+    return False
+
+
+def report_word(s_out, line):
+    """Send one misspelled word to the output thread."""
+    yield Tick(30)
+    yield Write(s_out, line + b"\n")
+    return 1

@@ -1,0 +1,67 @@
+"""The paper's contribution: window-management schemes for multiple
+threads in cyclic register windows.
+
+Three evaluated schemes (paper §4.5):
+
+* :class:`NSScheme` — non-sharing: flush all active windows on every
+  context switch (the conventional approach).
+* :class:`SNPScheme` — sharing without private reserved windows: one
+  global reserved window; underflow traps restore the caller's frame
+  *in place* (the paper's key idea, §3.2), so underflow never spills.
+* :class:`SPScheme` — sharing with a private reserved window (PRW) per
+  thread: switching to a thread whose windows are resident transfers
+  nothing at all.
+
+Plus the working-set ready-queue policy of §4.6 and the allocation
+policy variations of §4.2.
+"""
+
+from repro.core.allocation import (
+    AllocationPolicy,
+    FreeSearchAllocation,
+    LRUBottomAllocation,
+    SimpleAllocation,
+)
+from repro.core.costs import CostModel, PAPER_TABLE2, Table2Row
+from repro.core.ns import NSScheme
+from repro.core.scheme import Scheme
+from repro.core.snp import SNPScheme
+from repro.core.sp import SPScheme
+from repro.core.working_set import FIFOPolicy, QueuePolicy, WorkingSetPolicy
+
+SCHEMES = {
+    "NS": NSScheme,
+    "SNP": SNPScheme,
+    "SP": SPScheme,
+}
+
+
+def make_scheme(name: str, cpu, **kwargs):
+    """Build a scheme by its paper name ("NS", "SNP" or "SP")."""
+    try:
+        cls = SCHEMES[name.upper()]
+    except KeyError:
+        raise ValueError(
+            "unknown scheme %r (expected one of %s)"
+            % (name, ", ".join(sorted(SCHEMES))))
+    return cls(cpu, **kwargs)
+
+
+__all__ = [
+    "AllocationPolicy",
+    "FreeSearchAllocation",
+    "LRUBottomAllocation",
+    "SimpleAllocation",
+    "CostModel",
+    "PAPER_TABLE2",
+    "Table2Row",
+    "NSScheme",
+    "Scheme",
+    "SNPScheme",
+    "SPScheme",
+    "FIFOPolicy",
+    "QueuePolicy",
+    "WorkingSetPolicy",
+    "SCHEMES",
+    "make_scheme",
+]

@@ -1,0 +1,116 @@
+"""Window-allocation policies for windowless threads (paper §4.2).
+
+When a scheduled thread has no resident windows, the sharing schemes
+must pick where its new stack-top window (and, in SP, its private
+reserved window) goes.  The paper evaluates only the *simple* policy —
+allocate immediately above the suspended thread's windows — and notes
+that searching for free windows or evicting a least-recently-used
+stack-bottom "may be worth the extra cost".  We implement all three;
+the extra policies are exercised by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.windows.thread_windows import ThreadWindows
+
+
+class AllocationPolicy(ABC):
+    """Chooses the physical window for a windowless thread's new top."""
+
+    name = "?"
+
+    @abstractmethod
+    def choose_top(self, scheme, out_tw: Optional[ThreadWindows],
+                   in_tw: ThreadWindows, need: int) -> int:
+        """Return the window for the incoming thread's stack-top frame.
+
+        ``need`` is the total number of windows the scheme will claim
+        starting at the returned window and going upward (2 for both
+        SNP — top + relocated reserved — and SP — top + PRW).
+        """
+
+
+class SimpleAllocation(AllocationPolicy):
+    """The paper's evaluated policy: allocate directly above the
+    suspended thread's windows (SNP: at the old reserved window; SP:
+    above the suspended thread's PRW)."""
+
+    name = "simple"
+
+    def choose_top(self, scheme, out_tw, in_tw, need: int) -> int:
+        return scheme.simple_top(out_tw)
+
+
+class FreeSearchAllocation(AllocationPolicy):
+    """Search for a free run of at least ``need`` windows before
+    spilling anything; fall back to the simple policy when none exists.
+
+    The *longest* free run is chosen and the thread is placed at its
+    lower (+1) end, maximising the growth headroom above — placing it
+    directly under another region's bottom would make the very next
+    ``save`` evict that region.
+    """
+
+    name = "free-search"
+
+    def choose_top(self, scheme, out_tw, in_tw, need: int) -> int:
+        best_top, best_len = _longest_free_run(scheme.map)
+        if best_len >= need:
+            return best_top
+        return scheme.simple_top(out_tw)
+
+
+def _longest_free_run(wmap):
+    """(lower end, length) of the longest cyclic run of free windows.
+
+    A run's *lower end* is its +1-most window (the one whose below-
+    neighbour is occupied); placing a thread there leaves the rest of
+    the run above it as growth headroom.
+    """
+    n = wmap.n_windows
+    if wmap.free_count() == n:
+        return 0, n
+    best_end, best_len = -1, 0
+    for w in range(n):
+        if not wmap.is_free(w) or wmap.is_free((w + 1) % n):
+            continue  # not the lower end of a run
+        length = 0
+        cur = w
+        while wmap.is_free(cur):
+            length += 1
+            cur = (cur - 1) % n
+        if length > best_len:
+            best_end, best_len = w, length
+    return best_end, best_len
+
+
+class LRUBottomAllocation(AllocationPolicy):
+    """When no free run exists, evict from the stack-bottom of the
+    least-recently-dispatched thread instead of whatever happens to sit
+    above the suspended thread."""
+
+    name = "lru-bottom"
+
+    def __init__(self):
+        self._free_search = FreeSearchAllocation()
+
+    def choose_top(self, scheme, out_tw, in_tw, need: int) -> int:
+        wmap = scheme.map
+        for top in range(wmap.n_windows):
+            run = [(top - i) % wmap.n_windows for i in range(need)]
+            if all(wmap.is_free(w) for w in run):
+                return top
+        recency = getattr(scheme, "last_dispatched", {})
+        candidates = [
+            tw for tw in scheme.threads.values()
+            if tw.has_windows and tw.tid != in_tw.tid
+            and (out_tw is None or tw.tid != out_tw.tid)
+        ]
+        if not candidates:
+            return scheme.simple_top(out_tw)
+        lru = min(candidates, key=lambda tw: recency.get(tw.tid, -1))
+        assert lru.bottom is not None
+        return lru.bottom

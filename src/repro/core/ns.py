@@ -1,0 +1,158 @@
+"""NS — the non-sharing scheme (paper §4.5, the conventional baseline).
+
+Windows are never shared between threads: a context switch flushes
+every active window of the suspended thread to memory and restores only
+the stack-top window of the scheduled thread.  Deeper frames come back
+later through ordinary underflow traps — the "hidden overhead" the
+paper points out in §6.2.
+
+Trap handling is the *basic* algorithm of §2: a single reserved window;
+overflow spills the stack-bottom window (Figure 3); underflow restores
+the missing window below the CWP and moves the reserved window down
+(Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.scheme import Scheme
+from repro.windows.errors import WindowGeometryError, WindowIntegrityError
+from repro.windows.thread_windows import ThreadWindows
+
+
+class NSScheme(Scheme):
+    """Non-sharing: flush all active windows on every context switch.
+
+    ``transfer_depth`` is the Tamir & Sequin knob the paper cites in
+    §2: how many windows each overflow spills / each underflow restores
+    ahead.  The paper follows their finding that "transferring one
+    window is the best in most cases"; other depths are provided for
+    the ablation benchmark that re-verifies the claim on our workload.
+    """
+
+    kind = "NS"
+    shares_windows = False
+
+    def __init__(self, cpu, transfer_depth: int = 1):
+        super().__init__(cpu)
+        if transfer_depth < 1:
+            raise WindowGeometryError(
+                "transfer depth must be >= 1, got %d" % transfer_depth)
+        self.transfer_depth = transfer_depth
+        self.reserved = 0
+        self.map.set_reserved(self.reserved)
+        self.wf.set_wim({self.reserved})
+
+    # -- traps (basic algorithm, §2) ----------------------------------------
+
+    def handle_overflow(self, tw: ThreadWindows) -> None:
+        """Figure 3: spill the thread's stack-bottom window(s); the
+        last freed window becomes the new reserved window."""
+        boundary = self.wf.above(self.wf.cwp)
+        if boundary != self.reserved:
+            raise WindowGeometryError(
+                "NS overflow at window %d but reserved is %d"
+                % (boundary, self.reserved))
+        if tw.resident < 2:
+            raise WindowGeometryError(
+                "NS overflow with %d resident frames" % tw.resident)
+        spills = min(self.transfer_depth, tw.resident - 1)
+        new_reserved = self.reserved
+        for __ in range(spills):
+            new_reserved = self._spill_bottom(tw)
+        self.map.set_free(self.reserved)
+        self.map.set_reserved(new_reserved)
+        self.reserved = new_reserved
+        self.wf.set_wim({self.reserved})
+        self.counters.record_trap(
+            "overflow", tw.tid,
+            self.cost.overflow_cost_multi(spills), spilled=True)
+
+    def handle_underflow(self, tw: ThreadWindows) -> None:
+        """Figure 4: restore the missing frame(s) into the window(s)
+        below the CWP and move the reserved window further down."""
+        wf = self.wf
+        target = wf.below(wf.cwp)
+        if target != self.reserved:
+            raise WindowGeometryError(
+                "NS underflow at window %d but reserved is %d"
+                % (target, self.reserved))
+        if tw.resident != 1:
+            raise WindowGeometryError(
+                "NS underflow with %d resident frames" % tw.resident)
+        restores = min(self.transfer_depth, len(tw.store),
+                       wf.n_windows - 2)
+        if restores < 1:
+            raise WindowGeometryError(
+                "NS underflow with an empty backing store")
+        # Innermost stored frame goes to the target window, the next
+        # ones (read-ahead, transfer_depth > 1) below it.
+        w = target
+        for i in range(restores):
+            frame = tw.store.pop()
+            expected = tw.depth - 1 - i
+            if frame.depth >= 0 and frame.depth != expected:
+                raise WindowIntegrityError(
+                    "thread %d restored frame of depth %d at depth %d"
+                    % (tw.tid, frame.depth, expected))
+            wf.load(w, frame)
+            self.map.set_frame(w, tw.tid)
+            last = w
+            w = wf.below(w)
+        # The callee's window is vacated; the caller's frame now lives
+        # in what was the reserved window.
+        self.map.set_free(wf.cwp)
+        wf.cwp = target
+        tw.cwp = target
+        tw.bottom = last
+        tw.resident = restores
+        tw.depth -= 1
+        new_reserved = wf.below(last)
+        if not self.map.is_free(new_reserved):
+            raise WindowGeometryError(
+                "NS: window %d below the restored frames is %s"
+                % (new_reserved, self.map.kind(new_reserved)))
+        self.map.set_reserved(new_reserved)
+        self.reserved = new_reserved
+        self.wf.set_wim({self.reserved})
+        self.counters.record_trap(
+            "underflow", tw.tid,
+            self.cost.underflow_conventional_multi(restores),
+            restored=True)
+
+    # -- context switch --------------------------------------------------------
+
+    def context_switch(self, out_tw: Optional[ThreadWindows],
+                       in_tw: ThreadWindows,
+                       flush_out: bool = False) -> None:
+        # NS always flushes; the flush_out hint (§4.4) changes nothing.
+        saves = 0
+        if out_tw is not None and out_tw.has_windows:
+            saves = self._flush_all(out_tw)
+        top = self.wf.above(self.reserved)
+        if not self.map.is_free(top):
+            raise WindowGeometryError(
+                "NS: window %d above the reserved window is %s after a flush"
+                % (top, self.map.kind(top)))
+        restores = self._install_single_frame(in_tw, top)
+        if in_tw.saved_outs is not None:
+            self.wf.outs_of(top)[:] = in_tw.saved_outs
+            in_tw.saved_outs = None
+        self._run_thread(in_tw)
+        self.wf.set_wim({self.reserved})
+        cycles = self.cost.ns_switch_cost(saves, restores)
+        self.counters.record_switch(
+            out_tw.tid if out_tw is not None else None, in_tw.tid,
+            saves, restores, cycles)
+
+    def _flush_all(self, tw: ThreadWindows) -> int:
+        """Flush every active window, outermost (bottom) first, and save
+        the stack-top out registers in the thread context."""
+        assert tw.cwp is not None
+        tw.saved_outs = list(self.wf.outs_of(tw.cwp))
+        flushed = 0
+        while tw.resident > 0:
+            self._spill_bottom(tw)
+            flushed += 1
+        return flushed

@@ -1,0 +1,185 @@
+"""Abstract window-management scheme and shared geometry helpers.
+
+A scheme owns all policy: how overflow and underflow traps are handled,
+what a context switch moves, and where windows are allocated.  The CPU
+(:class:`repro.windows.cpu.WindowCPU`) calls back into the bound scheme
+when a ``save``/``restore`` hits an invalid window.
+
+Geometry facts the shared helpers rely on (see DESIGN.md):
+
+* a thread's resident frames form a cyclically contiguous run
+  ``[cwp .. bottom]`` (top at ``cwp``, oldest at ``bottom``);
+* regions pack around the cyclic file so that, scanning *upward* from
+  any region boundary, the first non-free window is some thread's
+  stack-bottom window (a private reserved window is only exposed when
+  its thread has no frames, and it is freed at that moment);
+* overflow spills therefore always remove a stack-bottom window, never
+  a stack-top one — exactly the property §3.1 demands.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+from repro.windows.backing_store import Frame
+from repro.windows.errors import WindowGeometryError, WindowIntegrityError
+from repro.windows.thread_windows import ThreadWindows
+
+
+class Scheme(ABC):
+    """Base class for the NS, SNP and SP window-management schemes."""
+
+    #: paper name of the scheme ("NS", "SNP" or "SP")
+    kind: str = "?"
+    #: does the scheme share windows among threads?
+    shares_windows: bool = False
+
+    def __init__(self, cpu):
+        self.cpu = cpu
+        self.wf = cpu.wf
+        self.map = cpu.map
+        self.cost = cpu.cost
+        self.counters = cpu.counters
+        cpu.bind_scheme(self)
+        self.threads: Dict[int, ThreadWindows] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, tw: ThreadWindows) -> None:
+        if tw.tid in self.threads:
+            raise WindowGeometryError("thread %d already registered" % tw.tid)
+        self.threads[tw.tid] = tw
+
+    # -- abstract policy -----------------------------------------------------
+
+    @abstractmethod
+    def handle_overflow(self, tw: ThreadWindows) -> None:
+        """Make the window above the CWP valid and free (trap handler)."""
+
+    @abstractmethod
+    def handle_underflow(self, tw: ThreadWindows) -> None:
+        """Bring the caller's frame back from memory (trap handler)."""
+
+    @abstractmethod
+    def context_switch(self, out_tw: Optional[ThreadWindows],
+                       in_tw: ThreadWindows,
+                       flush_out: bool = False) -> None:
+        """Suspend ``out_tw`` (if any), dispatch ``in_tw``.
+
+        ``flush_out`` requests the flush-type context switch of §4.4:
+        the suspended thread's windows are written out at switch time
+        (cheaper than later overflow traps when the thread will sleep
+        long).  The NS scheme always flushes, so it ignores the flag.
+        """
+
+    def min_windows(self) -> int:
+        """Smallest window file this scheme can run on."""
+        return 3
+
+    # -- thread exit ---------------------------------------------------------
+
+    def retire(self, tw: ThreadWindows) -> None:
+        """Free every window the exiting thread holds."""
+        for w in tw.resident_windows(self.wf.n_windows):
+            self.map.set_free(w)
+        if tw.prw is not None:
+            self.map.set_free(tw.prw)
+        tw.drop_windows()
+        tw.depth = 0
+        tw.store.frames.clear()
+        if self.cpu.current is tw:
+            self.cpu.current = None
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _frame_of_bottom(self, tw: ThreadWindows) -> Frame:
+        """Capture the bottom resident frame with its logical depth."""
+        assert tw.bottom is not None
+        depth = tw.depth - tw.resident + 1
+        return self.wf.capture(tw.bottom, depth)
+
+    def _spill_bottom(self, victim: ThreadWindows) -> int:
+        """Spill the victim's stack-bottom window to its backing store.
+
+        Frees the window in the map; if the victim loses its last frame
+        its private reserved window (if any) is freed too, keeping the
+        "first occupant above a boundary is a bottom" invariant alive.
+        """
+        frame = self._frame_of_bottom(victim)
+        victim.store.push(frame)
+        old_bottom = victim.shrink_bottom(self.wf.n_windows)
+        self.map.set_free(old_bottom)
+        if victim.resident == 0 and victim.prw is not None:
+            # The thread's last frame is gone, so its PRW goes too; the
+            # stack-top outs physically lived in the PRW's in registers
+            # and must survive in the thread context until re-dispatch.
+            victim.saved_outs = list(self.wf.ins_of(victim.prw))
+            self.map.set_free(victim.prw)
+            victim.prw = None
+        return old_bottom
+
+    def _make_free(self, w: int) -> int:
+        """Spill whatever occupies window ``w`` until it is free.
+
+        Returns the number of windows spilled.  Only frame occupants are
+        legal here; hitting a reserved window means the caller broke the
+        packing invariant.
+        """
+        saves = 0
+        while not self.map.is_free(w):
+            if not self.map.is_frame(w):
+                raise WindowGeometryError(
+                    "window %d is %s; expected a stack-bottom frame"
+                    % (w, self.map.kind(w)))
+            victim = self.threads[self.map.frame_tid(w)]
+            if victim.bottom != w:
+                raise WindowGeometryError(
+                    "window %d belongs to thread %d but is not its bottom"
+                    % (w, victim.tid))
+            self._spill_bottom(victim)
+            saves += 1
+        return saves
+
+    def _restore_top_frame(self, tw: ThreadWindows, w: int) -> None:
+        """Load the thread's innermost stored frame into window ``w``."""
+        frame = tw.store.pop()
+        expected = tw.depth - tw.resident
+        if frame.depth >= 0 and frame.depth != expected:
+            raise WindowIntegrityError(
+                "thread %d restored frame of depth %d at depth %d"
+                % (tw.tid, frame.depth, expected))
+        self.wf.load(w, frame)
+
+    def _install_single_frame(self, tw: ThreadWindows, w: int) -> int:
+        """Give ``tw`` exactly one resident window at ``w``; returns the
+        number of window restores performed (0 for a fresh thread)."""
+        restores = 0
+        if tw.started:
+            if not tw.store:
+                raise WindowGeometryError(
+                    "started thread %d is windowless with an empty "
+                    "backing store" % tw.tid)
+            self._restore_top_frame(tw, w)
+            restores = 1
+        else:
+            self.wf.clear_window(w)
+            tw.depth = 1
+        tw.cwp = w
+        tw.bottom = w
+        tw.resident = 1
+        self.map.set_frame(w, tw.tid)
+        return restores
+
+    def _run_thread(self, tw: ThreadWindows) -> None:
+        """Point the hardware at the incoming thread."""
+        assert tw.cwp is not None
+        self.wf.cwp = tw.cwp
+        self.cpu.current = tw
+        tw.started = True
+
+    def _wim_only_thread(self, tw: ThreadWindows) -> None:
+        """WIM: only the thread's resident windows are valid (§3)."""
+        n = self.wf.n_windows
+        valid = set(tw.resident_windows(n))
+        self.wf.set_wim(set(range(n)) - valid)

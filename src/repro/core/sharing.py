@@ -1,0 +1,174 @@
+"""Shared machinery of the two window-sharing schemes (SNP and SP).
+
+Both schemes use the paper's key algorithm (§3.2): on a window
+*underflow*, the caller's frame is restored **in place** — into the
+same physical window the callee used — after the callee's in registers
+(return values, frame linkage) are copied to its out registers.  The
+CWP does not physically move; logically the thread is one frame
+shallower.  Underflow therefore never spills a window, which is what
+makes sharing windows among threads tractable (§3.1 problems 1–3).
+
+On a window *overflow*, the boundary (the global reserved window in
+SNP, the thread's private reserved window in SP) moves one window up;
+if the window above the boundary holds another thread's stack-bottom
+frame, that frame is spilled — always a stack-bottom, never a
+stack-top, exactly as the paper requires.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.allocation import AllocationPolicy, SimpleAllocation
+from repro.core.scheme import Scheme
+from repro.windows.errors import WindowGeometryError
+from repro.windows.thread_windows import ThreadWindows
+
+
+class SharingScheme(Scheme):
+    """Common trap handling for the SNP and SP schemes."""
+
+    shares_windows = True
+
+    #: how many free windows are granted as growth headroom when the
+    #: boundary is placed (typical per-quantum call-depth excursion);
+    #: granting costs nothing — the WIM is recomputed anyway — but an
+    #: unbounded grant would push the boundary far from the thread and
+    #: crowd the next windowless allocation into its neighbour's back.
+    grant_headroom = 4
+
+    def __init__(self, cpu, allocation: Optional[AllocationPolicy] = None):
+        super().__init__(cpu)
+        self.allocation = (allocation if allocation is not None
+                           else SimpleAllocation())
+        self._dispatch_seq = 0
+        self.last_dispatched = {}
+
+    # -- hooks the concrete schemes provide ---------------------------------
+
+    def boundary_of(self, tw: ThreadWindows) -> int:
+        """The reserved window guarding the running thread's growth."""
+        raise NotImplementedError
+
+    def _set_boundary(self, tw: ThreadWindows, w: int) -> None:
+        """Record ``w`` as the new boundary (map + scheme bookkeeping)."""
+        raise NotImplementedError
+
+    def simple_top(self, out_tw: Optional[ThreadWindows]) -> int:
+        """Where the simple allocation policy (§4.2) puts a windowless
+        thread's new stack-top window."""
+        raise NotImplementedError
+
+    # -- traps ----------------------------------------------------------------
+
+    def handle_overflow(self, tw: ThreadWindows) -> None:
+        wf = self.wf
+        boundary = wf.above(wf.cwp)
+        expected = self.boundary_of(tw)
+        if boundary != expected:
+            raise WindowGeometryError(
+                "%s overflow at window %d but the boundary is %d"
+                % (self.kind, boundary, expected))
+        candidate = wf.above(boundary)
+        if candidate == wf.cwp:
+            raise WindowGeometryError(
+                "window file too small: overflow wrapped onto the CWP")
+        # The old boundary becomes the thread's new stack-top window;
+        # the boundary is re-placed above it, granting any free run on
+        # the way (recomputing the WIM costs the same either way).
+        self.map.set_free(boundary)
+        spilled = self._position_boundary(tw, top=boundary)
+        self.counters.record_trap(
+            "overflow", tw.tid, self.cost.overflow_cost(spilled > 0),
+            spilled=spilled > 0)
+
+    def _position_boundary(self, tw: ThreadWindows, top: int) -> int:
+        """Place the thread's boundary (global reserved window or PRW)
+        above window ``top``, granting the contiguous run of free
+        windows in between as valid growth room, and rebuild the WIM.
+
+        ``top`` is the thread's stack-top window — or the window a
+        trapped ``save`` is about to claim.  Returns the number of
+        windows spilled (0 or 1: when not even one free window exists
+        above ``top``, the stack-bottom frame sitting there is spilled
+        to become the boundary).
+        """
+        wf = self.wf
+        wmap = self.map
+        n = wf.n_windows
+        relocatable = self._relocatable_boundary(tw)
+        limit = n - tw.resident - (0 if wmap.is_frame(top) else 1)
+        limit = min(limit, self.grant_headroom + 1)
+        run = []
+        w = wf.above(top)
+        while len(run) < limit and (wmap.is_free(w) or w == relocatable):
+            run.append(w)
+            w = wf.above(w)
+        saves = 0
+        if not run:
+            saves = self._make_free(wf.above(top))
+            if saves > 1:
+                raise WindowGeometryError(
+                    "boundary placement spilled %d windows" % saves)
+            run = [wf.above(top)]
+        boundary = run[-1]
+        granted = run[:-1]
+        if (relocatable is not None and relocatable != boundary
+                and wmap.is_reserved(relocatable)):
+            wmap.set_free(relocatable)
+        self._set_boundary(tw, boundary)
+        valid = set(tw.resident_windows(n))
+        valid.add(top)
+        valid.update(granted)
+        wf.set_wim(set(range(n)) - valid)
+        return saves
+
+    def _relocatable_boundary(self, tw: ThreadWindows):
+        """The thread-or-scheme boundary window that may be re-sited
+        while placing a new boundary (None when there is none)."""
+        raise NotImplementedError
+
+    def handle_underflow(self, tw: ThreadWindows) -> None:
+        """The paper's in-place restore (§3.2 / Figure 8)."""
+        wf = self.wf
+        w = wf.cwp
+        if tw.resident != 1 or tw.bottom != w:
+            raise WindowGeometryError(
+                "underflow with resident=%d bottom=%s cwp=%d"
+                % (tw.resident, tw.bottom, w))
+        if not tw.store:
+            raise WindowGeometryError(
+                "thread %d underflowed with an empty backing store" % tw.tid)
+        # Return values and frame linkage move to the caller's outs.
+        wf.copy_ins_to_outs(w)
+        # The caller's frame comes back *into the callee's window*.
+        self._restore_top_frame(tw, w)
+        tw.depth -= 1
+        # CWP, bottom, resident, WIM and occupancy all stay put: the
+        # thread virtually moved one window down without physical motion.
+        self.counters.record_trap(
+            "underflow", tw.tid, self.cost.underflow_inplace_cost(),
+            restored=True)
+
+    # -- flush-type context switch (§4.4) ------------------------------------
+
+    def _flush_out_windows(self, out_tw: Optional[ThreadWindows],
+                           flush_out: bool) -> int:
+        """Write out every window of the suspended thread at switch
+        time.  Cheaper per window than the later overflow traps it
+        avoids, because the trap entry/exit overhead is not paid."""
+        if not flush_out or out_tw is None or not out_tw.has_windows:
+            return 0
+        assert out_tw.cwp is not None
+        out_tw.saved_outs = list(self.wf.outs_of(out_tw.cwp))
+        count = 0
+        while out_tw.resident:
+            self._spill_bottom(out_tw)
+            count += 1
+        return count
+
+    # -- dispatch bookkeeping ----------------------------------------------
+
+    def _note_dispatch(self, tw: ThreadWindows) -> None:
+        self._dispatch_seq += 1
+        self.last_dispatched[tw.tid] = self._dispatch_seq

@@ -1,0 +1,84 @@
+"""SNP — sharing scheme without private reserved windows (paper §4.5).
+
+Windows are shared among threads; a single global reserved window
+guards the *running* thread's growth.  Because a suspended thread's
+stack-top out registers physically live in the window above its top —
+which is not protected while it sleeps — the outs are saved into the
+thread context on every switch-out and restored on switch-in (§4.1).
+
+If the newly-scheduled thread has no windows, the simple policy
+allocates the window above the suspended thread's windows: the old
+reserved window itself is available, so at most one window must be
+spilled to re-establish the reserved window above it (§4.1, Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.sharing import SharingScheme
+from repro.windows.thread_windows import ThreadWindows
+
+
+class SNPScheme(SharingScheme):
+    """Sharing without PRW: one global reserved window."""
+
+    kind = "SNP"
+
+    def __init__(self, cpu, allocation=None):
+        super().__init__(cpu, allocation)
+        self.reserved = 0
+        self.map.set_reserved(self.reserved)
+        self.wf.set_wim(set(range(self.wf.n_windows)))
+
+    # -- boundary hooks ------------------------------------------------------
+
+    def boundary_of(self, tw: ThreadWindows) -> int:
+        return self.reserved
+
+    def _set_boundary(self, tw: ThreadWindows, w: int) -> None:
+        self.map.set_reserved(w)
+        self.reserved = w
+
+    def _relocatable_boundary(self, tw: ThreadWindows):
+        return self.reserved
+
+    def simple_top(self, out_tw: Optional[ThreadWindows]) -> int:
+        # "The window above the suspended thread's is allocated": the
+        # old reserved window sits exactly there and is available.
+        return self.reserved
+
+    # -- context switch ---------------------------------------------------------
+
+    def context_switch(self, out_tw: Optional[ThreadWindows],
+                       in_tw: ThreadWindows,
+                       flush_out: bool = False) -> None:
+        saves = 0
+        flushed = self._flush_out_windows(out_tw, flush_out)
+        if out_tw is not None and out_tw.has_windows:
+            # The stack-top outs always travel through memory (§4.1).
+            out_tw.saved_outs = list(self.wf.outs_of(out_tw.cwp))
+        if in_tw.has_windows:
+            restores = 0
+        else:
+            top = self.allocation.choose_top(self, out_tw, in_tw, need=2)
+            if top != self.reserved:
+                saves += self._make_free(top)
+            restores = self._install_single_frame(in_tw, top)
+        # Re-site the global reserved window above the incoming
+        # thread's top, granting any free run on the way (the WIM must
+        # be recomputed for the new thread regardless, §3).
+        saves += self._position_boundary(in_tw, in_tw.cwp)
+        if in_tw.saved_outs is not None:
+            self.wf.outs_of(in_tw.cwp)[:] = in_tw.saved_outs
+            in_tw.saved_outs = None
+        self._run_thread(in_tw)
+        self._note_dispatch(in_tw)
+        cycles = (self.cost.snp_switch_cost(saves, restores)
+                  + self.cost.flush_cost(flushed))
+        self.counters.record_switch(
+            out_tw.tid if out_tw is not None else None, in_tw.tid,
+            saves + flushed, restores, cycles)
+
+    def min_windows(self) -> int:
+        return 3

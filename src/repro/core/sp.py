@@ -1,0 +1,137 @@
+"""SP — sharing scheme with private reserved windows (paper §4.5).
+
+Every thread with resident windows keeps its own private reserved
+window (PRW) immediately above its stack-top.  The PRW physically holds
+the thread's stack-top out registers and is never given away while the
+thread sleeps, so **switching to a thread whose windows are resident
+transfers nothing at all** — the best case of Table 2 and the reason SP
+wins whenever there are enough windows.
+
+At switch-out, if the suspended thread vacated windows above its top
+(by plain restores during its quantum), its PRW is moved down to sit
+immediately above the current top; the reserved window carries no data,
+so this costs only bookkeeping (§4.1).
+
+A windowless thread needs *two* windows (top frame + PRW), allocated
+above the suspended thread's PRW under the simple policy — hence the
+scheme's worst case of two spills (Table 2's ``2 1`` row).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.sharing import SharingScheme
+from repro.windows.errors import WindowGeometryError
+from repro.windows.thread_windows import ThreadWindows
+
+
+class SPScheme(SharingScheme):
+    """Sharing with a private reserved window per thread."""
+
+    kind = "SP"
+
+    def __init__(self, cpu, allocation=None):
+        super().__init__(cpu, allocation)
+        if cpu.n_windows < self.min_windows():
+            raise WindowGeometryError(
+                "SP needs at least %d windows, got %d"
+                % (self.min_windows(), cpu.n_windows))
+        #: where to allocate when there is no suspended thread to anchor
+        #: on (start of run, or the previous thread exited)
+        self._anchor = 0
+        self.wf.set_wim(set(range(self.wf.n_windows)))
+
+    # -- boundary hooks -------------------------------------------------------
+
+    def boundary_of(self, tw: ThreadWindows) -> int:
+        if tw.prw is None:
+            raise WindowGeometryError(
+                "thread %d has no PRW while running" % tw.tid)
+        return tw.prw
+
+    def _set_boundary(self, tw: ThreadWindows, w: int) -> None:
+        self.map.set_reserved(w, tw.tid)
+        tw.prw = w
+
+    def _relocatable_boundary(self, tw: ThreadWindows):
+        return tw.prw
+
+    def simple_top(self, out_tw: Optional[ThreadWindows]) -> int:
+        # "The window above the reserved window of the suspended thread
+        # is allocated."
+        anchor = self._anchor
+        if out_tw is not None and out_tw.prw is not None:
+            anchor = out_tw.prw
+        return self.wf.above(anchor)
+
+    # -- context switch -----------------------------------------------------------
+
+    def context_switch(self, out_tw: Optional[ThreadWindows],
+                       in_tw: ThreadWindows,
+                       flush_out: bool = False) -> None:
+        saves = 0
+        restores = 0
+        allocated = False
+        flushed = self._flush_out_windows(out_tw, flush_out)
+        if out_tw is not None and out_tw.has_windows:
+            self._snug_prw(out_tw)
+            self._anchor = out_tw.prw
+        if in_tw.has_windows:
+            if in_tw.prw is None or in_tw.prw != self.wf.above(in_tw.cwp):
+                raise WindowGeometryError(
+                    "thread %d resident without a snug PRW (%s)"
+                    % (in_tw.tid, in_tw.prw))
+            # Nothing is transferred: windows, outs and PRW are all in
+            # place; the PRW may drift upward over a free run while the
+            # WIM is recomputed (costless growth headroom).
+        else:
+            allocated = True
+            top = self.allocation.choose_top(self, out_tw, in_tw, need=2)
+            saves += self._make_free(top)
+            restores = self._install_single_frame(in_tw, top)
+        # Place the PRW above the top, granting any free run; a second
+        # spill can happen here (the worst case of Table 2's SP rows).
+        saves += self._position_boundary(in_tw, in_tw.cwp)
+        if in_tw.saved_outs is not None:
+            # Only set when the thread lost its PRW to a spill while
+            # suspended; the outs move back into the window above top.
+            self.wf.outs_of(in_tw.cwp)[:] = in_tw.saved_outs
+            in_tw.saved_outs = None
+        self._run_thread(in_tw)
+        self._note_dispatch(in_tw)
+        cycles = (self.cost.sp_switch_cost(saves, restores, allocated)
+                  + self.cost.flush_cost(flushed))
+        self.counters.record_switch(
+            out_tw.tid if out_tw is not None else None, in_tw.tid,
+            saves + flushed, restores, cycles)
+
+    def _snug_prw(self, tw: ThreadWindows) -> None:
+        """Move the PRW down to immediately above the stack-top (§4.1).
+
+        The windows between are vacated frames (already free in the
+        map); the reserved window has no contents to copy, but the outs
+        of the stack-top live in the window immediately above the top,
+        so they are copied into the new PRW position register bank —
+        physically they are already there, because the outs of window
+        ``w`` *are* the ins of ``above(w)``; only bookkeeping moves.
+        """
+        assert tw.cwp is not None and tw.prw is not None
+        snug = self.wf.above(tw.cwp)
+        if tw.prw == snug:
+            return
+        if not self.map.is_free(snug):
+            raise WindowGeometryError(
+                "window %d above thread %d's top is %s, expected vacated"
+                % (snug, tw.tid, self.map.kind(snug)))
+        self.map.set_free(tw.prw)
+        self.map.set_reserved(snug, tw.tid)
+        tw.prw = snug
+
+    def retire(self, tw: ThreadWindows) -> None:
+        if tw.prw is not None and self._anchor == tw.prw:
+            self._anchor = 0
+        super().retire(tw)
+
+    def min_windows(self) -> int:
+        return 4

@@ -1,0 +1,53 @@
+"""Ready-queue policies: FIFO and the working-set concept (paper §4.6).
+
+The working-set idea transplants virtual-memory working sets onto
+register windows: give scheduling priority to threads whose windows are
+still resident, so the aggregate window working set of the concurrently
+scheduled threads stays inside the physical window file.  The paper's
+low-overhead realisation — which we copy exactly — changes *only* what
+happens when a thread is awoken: if the awoken thread still has
+windows, it is enqueued at the *front* of the ready queue; otherwise at
+the back.  The base scheduler stays FIFO and the context-switch path is
+untouched.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.windows.thread_windows import ThreadWindows
+
+FRONT = "front"
+BACK = "back"
+
+
+class QueuePolicy(ABC):
+    """Decides where an awoken thread enters the ready queue."""
+
+    name = "?"
+
+    @abstractmethod
+    def enqueue_position(self, tw: ThreadWindows) -> str:
+        """Return FRONT or BACK for a thread being awoken."""
+
+    def yield_position(self, tw: ThreadWindows) -> str:
+        """Where a thread that voluntarily yields re-enters the queue."""
+        return BACK
+
+
+class FIFOPolicy(QueuePolicy):
+    """Plain first-in-first-out scheduling (the paper's default)."""
+
+    name = "fifo"
+
+    def enqueue_position(self, tw: ThreadWindows) -> str:
+        return BACK
+
+
+class WorkingSetPolicy(QueuePolicy):
+    """§4.6: an awoken thread with resident windows jumps the queue."""
+
+    name = "working-set"
+
+    def enqueue_position(self, tw: ThreadWindows) -> str:
+        return FRONT if tw.has_windows else BACK

@@ -1,0 +1,42 @@
+"""Experiment harness: regenerates every table and figure of the
+paper's evaluation (§6).
+
+Run from the command line::
+
+    python -m repro.experiments table1
+    python -m repro.experiments table2
+    python -m repro.experiments fig11 [--scale 0.25] [--windows 4,8,16,32]
+    python -m repro.experiments fig12 | fig13 | fig14 | fig15
+    python -m repro.experiments all
+
+or call the functions directly (each returns structured data and a
+rendered text report).
+"""
+
+from repro.experiments.harness import (
+    ExperimentPoint,
+    run_point,
+    sweep_windows,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.figures import (
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+)
+
+__all__ = [
+    "ExperimentPoint",
+    "run_point",
+    "sweep_windows",
+    "run_table1",
+    "run_table2",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+]

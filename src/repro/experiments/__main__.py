@@ -1,0 +1,75 @@
+"""Command-line entry point: ``python -m repro.experiments <target>``.
+
+Targets: table1 table2 fig11 fig12 fig13 fig14 fig15 all
+
+Environment knobs:
+  REPRO_SCALE    corpus scale factor (default 0.25; 1.0 = paper size)
+  REPRO_WINDOWS  comma-separated window counts (default 4..32 subset)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figures import (
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+)
+from repro.experiments.harness import GRANULARITIES
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import render_table2, run_table2
+
+FIGURES = {
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+}
+
+
+def _emit_figure(name: str, windows, scale) -> None:
+    t0 = time.time()
+    result = FIGURES[name](windows=windows, scale=scale)
+    for granularity in GRANULARITIES:
+        print(result.chart(granularity))
+        print()
+    print("(%s computed in %.1fs)" % (name, time.time() - t0))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("target", choices=sorted(
+        list(FIGURES) + ["table1", "table2", "all"]))
+    parser.add_argument("--scale", type=float, default=None,
+                        help="corpus scale (1.0 = the paper's 40.5 kB)")
+    parser.add_argument("--windows", type=str, default=None,
+                        help="comma-separated window counts")
+    args = parser.parse_args(argv)
+
+    windows = ([int(x) for x in args.windows.split(",")]
+               if args.windows else None)
+
+    targets = ([args.target] if args.target != "all"
+               else ["table1", "table2"] + sorted(FIGURES))
+    for target in targets:
+        print("=" * 72)
+        if target == "table1":
+            print(render_table1(run_table1(scale=args.scale)))
+        elif target == "table2":
+            print(render_table2(run_table2()))
+        else:
+            _emit_figure(target, windows, args.scale)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

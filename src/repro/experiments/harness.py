@@ -1,0 +1,121 @@
+"""Shared experiment machinery: run one (scheme, windows, workload)
+point, sweep window counts, and collect the measures the figures plot.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.spellcheck import SpellConfig, run_spellchecker
+from repro.core.working_set import FIFOPolicy, WorkingSetPolicy
+
+#: default sweep (a subset of the paper's 4..32 that keeps runtimes sane;
+#: override per call or with the REPRO_WINDOWS environment variable)
+DEFAULT_WINDOWS: Sequence[int] = (4, 5, 6, 7, 8, 10, 12, 16, 20, 24, 32)
+
+#: default corpus scale for experiments (1.0 = the paper's 40 500 bytes);
+#: override with REPRO_SCALE
+DEFAULT_SCALE = 0.25
+
+SCHEMES = ("NS", "SNP", "SP")
+GRANULARITIES = ("coarse", "medium", "fine")
+
+
+def env_scale(default: float = DEFAULT_SCALE) -> float:
+    return float(os.environ.get("REPRO_SCALE", default))
+
+
+def env_windows(default: Sequence[int] = DEFAULT_WINDOWS) -> List[int]:
+    raw = os.environ.get("REPRO_WINDOWS")
+    if not raw:
+        return list(default)
+    return [int(x) for x in raw.split(",") if x.strip()]
+
+
+@dataclass
+class ExperimentPoint:
+    """Summary of one simulation run."""
+
+    scheme: str
+    n_windows: int
+    concurrency: str
+    granularity: str
+    policy: str
+    total_cycles: int
+    switch_cycles: int
+    trap_cycles: int
+    compute_cycles: int
+    context_switches: int
+    avg_switch_cycles: float
+    saves: int
+    restores: int
+    overflow_traps: int
+    underflow_traps: int
+    trap_probability: float
+    per_thread_switches: Dict[str, int] = field(default_factory=dict)
+    per_thread_saves: Dict[str, int] = field(default_factory=dict)
+    output_bytes: int = 0
+
+
+def run_point(scheme: str, n_windows: int, concurrency: str,
+              granularity: str, scale: Optional[float] = None,
+              working_set: bool = False, seed: int = 1993,
+              allocation=None) -> ExperimentPoint:
+    """Run the spell checker once and summarise the counters."""
+    if scale is None:
+        scale = env_scale()
+    config = SpellConfig.named(concurrency, granularity,
+                               scale=scale, seed=seed)
+    policy = WorkingSetPolicy() if working_set else FIFOPolicy()
+    result, output = run_spellchecker(
+        n_windows, scheme, config, queue_policy=policy,
+        allocation=allocation)
+    c = result.counters
+    names = {t.tid: t.name for t in result.threads}
+    return ExperimentPoint(
+        scheme=scheme,
+        n_windows=n_windows,
+        concurrency=concurrency,
+        granularity=granularity,
+        policy=policy.name,
+        total_cycles=c.total_cycles,
+        switch_cycles=c.switch_cycles,
+        trap_cycles=c.trap_cycles,
+        compute_cycles=c.compute_cycles,
+        context_switches=c.context_switches,
+        avg_switch_cycles=c.avg_switch_cycles,
+        saves=c.saves,
+        restores=c.restores,
+        overflow_traps=c.overflow_traps,
+        underflow_traps=c.underflow_traps,
+        trap_probability=c.trap_probability,
+        per_thread_switches={
+            names[tid]: n for tid, n in c.per_thread_switches.items()},
+        per_thread_saves={
+            names[tid]: n for tid, n in c.per_thread_saves.items()},
+        output_bytes=len(output),
+    )
+
+
+def sweep_windows(concurrency: str, granularity: str,
+                  windows: Optional[Sequence[int]] = None,
+                  schemes: Sequence[str] = SCHEMES,
+                  scale: Optional[float] = None,
+                  working_set: bool = False,
+                  seed: int = 1993) -> Dict[str, List[ExperimentPoint]]:
+    """Run every scheme over a window-count sweep."""
+    if windows is None:
+        windows = env_windows()
+    out: Dict[str, List[ExperimentPoint]] = {}
+    for scheme in schemes:
+        pts = []
+        for n in windows:
+            if scheme == "SP" and n < 4:
+                continue
+            pts.append(run_point(scheme, n, concurrency, granularity,
+                                 scale=scale, working_set=working_set,
+                                 seed=seed))
+        out[scheme] = pts
+    return out

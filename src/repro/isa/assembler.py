@@ -1,0 +1,201 @@
+"""Two-pass assembler for the micro-SPARC.
+
+Syntax (one instruction per line; ``;`` and ``!`` start comments)::
+
+    factorial:
+        cmp   %i0, 2
+        bl    base
+        save                     ; new window for the recursive frame
+        add   %i0, -1, %o0
+        call  factorial
+        mov   %o0, %l1
+        ...
+    base:
+        mov   1, %i0
+        retl
+
+Operands follow SPARC order: ``op rs1, rs2_or_imm, rd``.  Memory
+operands are ``[%reg]``, ``[%reg + imm]`` or ``[%reg - imm]``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.isa.instructions import (
+    ALL_OPS,
+    ALU_OPS,
+    BRANCH_OPS,
+    Instruction,
+    Operand,
+)
+from repro.isa.registers import RegisterError, parse_register
+
+
+class AssemblyError(Exception):
+    """Syntax or semantic error in assembly source."""
+
+
+class Program:
+    """Assembled program: instructions plus the label table."""
+
+    def __init__(self, instructions: List[Instruction],
+                 labels: Dict[str, int], source: str):
+        self.instructions = instructions
+        self.labels = labels
+        self.source = source
+
+    def entry(self, label: str = "start") -> int:
+        if label not in self.labels:
+            raise AssemblyError("no label %r in program" % label)
+        return self.labels[label]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+_MEM_RE = re.compile(
+    r"^\[\s*(%\w\w)\s*(?:([+-])\s*(\w+))?\s*\]$")
+
+
+def _parse_int(text: str) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError("bad integer %r" % text)
+
+
+def _parse_operand(text: str, line_no: int) -> Operand:
+    text = text.strip()
+    mem = _MEM_RE.match(text)
+    if mem:
+        try:
+            bank, index = parse_register(mem.group(1))
+        except RegisterError as err:
+            raise AssemblyError("line %d: %s" % (line_no, err))
+        offset = 0
+        if mem.group(3) is not None:
+            offset = _parse_int(mem.group(3))
+            if mem.group(2) == "-":
+                offset = -offset
+        return Operand.mem(bank, index, offset)
+    if text.startswith("%"):
+        try:
+            bank, index = parse_register(text)
+        except RegisterError as err:
+            raise AssemblyError("line %d: %s" % (line_no, err))
+        return Operand.reg(bank, index)
+    return Operand.imm(_parse_int(text))
+
+
+def _split_operands(rest: str) -> List[str]:
+    # split on commas not inside brackets
+    parts, depth, cur = [], 0, []
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if cur and "".join(cur).strip():
+        parts.append("".join(cur))
+    return [p.strip() for p in parts if p.strip()]
+
+
+_EXPECTED_COUNTS = {
+    "mov": (2,), "cmp": (2,), "ld": (2,), "st": (2,),
+    "save": (0, 3), "restore": (0, 3), "retadd": (3,),
+    "ret": (0,), "retl": (0,), "nop": (0,), "halt": (0,),
+    "yield": (0,),
+}
+
+
+def assemble(source: str) -> Program:
+    """Assemble source text into a :class:`Program`."""
+    labels: Dict[str, int] = {}
+    pending: List[Tuple[int, str, List[str]]] = []
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = re.split(r"[;!]", raw, 1)[0].strip()
+        if not line:
+            continue
+        while True:
+            match = re.match(r"^(\w+):\s*(.*)$", line)
+            if not match:
+                break
+            label = match.group(1)
+            if label in labels:
+                raise AssemblyError(
+                    "line %d: duplicate label %r" % (line_no, label))
+            labels[label] = len(pending)
+            line = match.group(2).strip()
+        if not line:
+            continue
+        fields = line.split(None, 1)
+        op = fields[0].lower()
+        if op not in ALL_OPS:
+            raise AssemblyError("line %d: unknown op %r" % (line_no, op))
+        rest = fields[1] if len(fields) > 1 else ""
+        pending.append((line_no, op, _split_operands(rest)))
+
+    instructions: List[Instruction] = []
+    for line_no, op, texts in pending:
+        label = None
+        if op in BRANCH_OPS or op == "call":
+            if len(texts) != 1:
+                raise AssemblyError(
+                    "line %d: %s needs exactly one target" % (line_no, op))
+            label = texts[0]
+            if label not in labels:
+                raise AssemblyError(
+                    "line %d: undefined label %r" % (line_no, label))
+            instructions.append(
+                Instruction(op, (), label=label, line=line_no))
+            continue
+        operands = tuple(_parse_operand(t, line_no) for t in texts)
+        expected = (_EXPECTED_COUNTS.get(op)
+                    if op not in ALU_OPS else (3,))
+        if expected is not None and len(operands) not in expected:
+            raise AssemblyError(
+                "line %d: %s takes %s operands, got %d"
+                % (line_no, op, " or ".join(map(str, expected)),
+                   len(operands)))
+        _validate(op, operands, line_no)
+        instructions.append(Instruction(op, operands, line=line_no))
+
+    program = Program(instructions, labels, source)
+    # resolve labels to instruction indices
+    for instr in program.instructions:
+        if instr.label is not None:
+            instr.label = labels[instr.label]  # type: ignore[assignment]
+    return program
+
+
+def _validate(op: str, operands, line_no: int) -> None:
+    def need(idx, kind, what):
+        if operands[idx].kind != kind:
+            raise AssemblyError(
+                "line %d: %s operand %d must be a %s"
+                % (line_no, op, idx + 1, what))
+
+    if op in ALU_OPS or op in ("restore", "save", "retadd"):
+        if len(operands) == 3:
+            need(0, Operand.REG, "register")
+            if operands[1].kind == Operand.MEM:
+                raise AssemblyError(
+                    "line %d: %s cannot take memory operands"
+                    % (line_no, op))
+            need(2, Operand.REG, "register")
+    elif op == "mov":
+        need(1, Operand.REG, "register")
+    elif op == "ld":
+        need(0, Operand.MEM, "memory reference")
+        need(1, Operand.REG, "register")
+    elif op == "st":
+        need(0, Operand.REG, "register")
+        need(1, Operand.MEM, "memory reference")

@@ -1,0 +1,269 @@
+"""The micro-SPARC interpreter.
+
+Each hardware thread has its own program counter, condition codes,
+(shadowed) global registers and window state; all threads share the
+physical window file, the memory, and the bound window-management
+scheme.  ``save``/``restore`` execute through
+:class:`repro.windows.cpu.WindowCPU`, so window traps — including the
+in-place underflow restore and the emulated restore-as-add of §4.3 —
+happen exactly as in the multithreading runtime, but now with live
+register data produced by real instructions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.core import make_scheme
+from repro.isa.assembler import Program
+from repro.isa.instructions import ALU_OPS, Operand
+from repro.isa.registers import read_register, write_register
+from repro.metrics.counters import Counters
+from repro.windows.cpu import WindowCPU
+from repro.windows.thread_windows import ThreadWindows
+
+WORD = 4
+
+
+class MachineFault(Exception):
+    """Illegal execution (bad opcode state, budget exhaustion, ...)."""
+
+
+class HWThread:
+    """One hardware thread context."""
+
+    def __init__(self, tid: int, name: str, entry: int, args):
+        self.tid = tid
+        self.name = name
+        self.pc = entry
+        self.args = tuple(args)
+        self.cc = 0  # last cmp result (signed difference)
+        self.windows = ThreadWindows(tid)
+        self.shadow_globals: List[int] = [0] * 8
+        self.done = False
+        self.exit_value: Optional[int] = None
+        self.instructions = 0
+
+    def __repr__(self) -> str:
+        return "HWThread(%d, %r, pc=%d, done=%s)" % (
+            self.tid, self.name, self.pc, self.done)
+
+
+class Machine:
+    """Interpreter for an assembled :class:`Program`."""
+
+    def __init__(self, program: Program, n_windows: int = 8,
+                 scheme: str = "SP", counters: Optional[Counters] = None):
+        self.program = program
+        self.counters = counters if counters is not None else Counters()
+        self.cpu = WindowCPU(n_windows, counters=self.counters)
+        if scheme.upper() == "NS":
+            self.scheme = make_scheme("NS", self.cpu)
+        else:
+            self.scheme = make_scheme(scheme, self.cpu)
+        self.memory: Dict[int, int] = {}
+        self.threads: List[HWThread] = []
+        self.ready: deque = deque()
+        self.current: Optional[HWThread] = None
+
+    # -- setup -------------------------------------------------------------
+
+    def add_thread(self, entry: str = "start", args=(),
+                   name: str = "") -> HWThread:
+        thread = HWThread(len(self.threads), name or "hw%d"
+                          % len(self.threads), self.program.entry(entry),
+                          args)
+        self.threads.append(thread)
+        self.scheme.register(thread.windows)
+        self.ready.append(thread)
+        return thread
+
+    # -- memory helpers ------------------------------------------------------
+
+    def poke(self, addr: int, value: int) -> None:
+        self.memory[addr] = value
+
+    def peek(self, addr: int) -> int:
+        return self.memory.get(addr, 0)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, max_steps: int = 1_000_000) -> Dict[str, Optional[int]]:
+        steps = 0
+        while self.ready or self.current is not None:
+            if self.current is None:
+                self._switch_to(self.ready.popleft())
+            steps += self._run_thread(max_steps - steps)
+            if steps >= max_steps:
+                raise MachineFault("step budget of %d exhausted" % max_steps)
+        return {t.name: t.exit_value for t in self.threads}
+
+    def _switch_to(self, thread: HWThread) -> None:
+        out = self.current
+        if out is not None:
+            out.shadow_globals = list(self.cpu.wf.global_regs)
+        self.scheme.context_switch(
+            out.windows if out is not None else None, thread.windows)
+        first_run = thread.instructions == 0
+        self.cpu.wf.global_regs[:] = thread.shadow_globals
+        if first_run:
+            for i, arg in enumerate(thread.args[:6]):
+                self.cpu.wf.write_in(i, arg)
+        self.current = thread
+
+    def _run_thread(self, budget: int) -> int:
+        """Run the current thread until it yields or halts."""
+        thread = self.current
+        assert thread is not None
+        wf = self.cpu.wf
+        instrs = self.program.instructions
+        executed = 0
+        while executed < budget:
+            if not 0 <= thread.pc < len(instrs):
+                raise MachineFault(
+                    "%s: pc %d out of range" % (thread.name, thread.pc))
+            instr = instrs[thread.pc]
+            op = instr.op
+            executed += 1
+            thread.instructions += 1
+            if op in ALU_OPS:
+                a = self._value(instr.operands[0])
+                b = self._value(instr.operands[1])
+                self._write(instr.operands[2], _alu(op, a, b))
+                self.cpu.tick(1)
+                thread.pc += 1
+            elif op == "mov":
+                self._write(instr.operands[1],
+                            self._value(instr.operands[0]))
+                self.cpu.tick(1)
+                thread.pc += 1
+            elif op == "cmp":
+                thread.cc = (self._value(instr.operands[0])
+                             - self._value(instr.operands[1]))
+                self.cpu.tick(1)
+                thread.pc += 1
+            elif op == "ba":
+                thread.pc = instr.label
+                self.cpu.tick(1)
+            elif op in ("be", "bne", "bg", "bge", "bl", "ble"):
+                taken = _branch_taken(op, thread.cc)
+                thread.pc = instr.label if taken else thread.pc + 1
+                self.cpu.tick(1)
+            elif op == "ld":
+                mem = instr.operands[0]
+                addr = read_register(wf, mem.bank, mem.index) + mem.offset
+                self._write(instr.operands[1], self.memory.get(addr, 0))
+                self.cpu.tick(2)
+                thread.pc += 1
+            elif op == "st":
+                mem = instr.operands[1]
+                addr = read_register(wf, mem.bank, mem.index) + mem.offset
+                self.memory[addr] = self._value(instr.operands[0])
+                self.cpu.tick(3)
+                thread.pc += 1
+            elif op == "save":
+                value = None
+                if instr.operands:
+                    value = (self._value(instr.operands[0])
+                             + self._value(instr.operands[1]))
+                self.cpu.save(thread.windows)
+                if instr.operands:
+                    self._write(instr.operands[2], value)
+                thread.pc += 1
+            elif op == "restore":
+                self._do_restore(thread, instr.operands)
+                thread.pc += 1
+            elif op == "call":
+                wf.write_out(7, thread.pc)
+                self.cpu.tick(1)
+                thread.pc = instr.label
+            elif op == "retl":
+                thread.pc = wf.read_out(7) + 1
+                self.cpu.tick(1)
+            elif op == "ret":
+                target = wf.read_in(7) + 1
+                self._do_restore(thread, ())
+                thread.pc = target
+            elif op == "retadd":
+                target = wf.read_in(7) + 1
+                self._do_restore(thread, instr.operands)
+                thread.pc = target
+            elif op == "nop":
+                self.cpu.tick(1)
+                thread.pc += 1
+            elif op == "halt":
+                thread.exit_value = wf.read_out(0)
+                thread.done = True
+                self.scheme.retire(thread.windows)
+                self.current = None
+                return executed
+            elif op == "yield":
+                self.cpu.tick(1)
+                thread.pc += 1
+                if self.ready:
+                    self.ready.append(thread)
+                    self._switch_to(self.ready.popleft())
+                    return executed
+            else:  # pragma: no cover - assembler rejects unknown ops
+                raise MachineFault("unknown op %r" % op)
+        return executed
+
+    def _do_restore(self, thread: HWThread, operands) -> None:
+        """A ``restore``, optionally with the add function of §4.3.
+
+        The operands are read in the callee's window and the result is
+        written in the caller's — across a possibly in-place underflow
+        trap, which is exactly the case the paper's trap handler must
+        emulate.
+        """
+        value = None
+        if operands:
+            value = (self._value(operands[0]) + self._value(operands[1]))
+        self.cpu.restore(thread.windows)
+        if operands:
+            self._write(operands[2], value)
+
+    # -- operand helpers ------------------------------------------------------
+
+    def _value(self, operand: Operand) -> int:
+        if operand.kind == Operand.IMM:
+            return operand.value
+        return read_register(self.cpu.wf, operand.bank, operand.index)
+
+    def _write(self, operand: Operand, value: int) -> None:
+        write_register(self.cpu.wf, operand.bank, operand.index, value)
+
+
+def _alu(op: str, a: int, b: int) -> int:
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "sll":
+        return a << b
+    if op == "srl":
+        return a >> b
+    if op == "smul":
+        return a * b
+    raise MachineFault("bad ALU op %r" % op)
+
+
+def _branch_taken(op: str, cc: int) -> bool:
+    if op == "be":
+        return cc == 0
+    if op == "bne":
+        return cc != 0
+    if op == "bg":
+        return cc > 0
+    if op == "bge":
+        return cc >= 0
+    if op == "bl":
+        return cc < 0
+    return cc <= 0  # ble

@@ -1,0 +1,240 @@
+"""Sample micro-SPARC programs used by tests, examples and benches."""
+
+#: recursive factorial; the classic save/restore window workout.
+#: Result convention: argument in %o0 before call, result in %o0 after.
+FACTORIAL = """
+start:
+    mov   6, %o0
+    call  factorial
+    nop
+    halt                    ; %o0 = 720
+
+factorial:
+    save                    ; fresh window, argument now in %i0
+    cmp   %i0, 2
+    bl    base
+    add   %i0, -1, %o0
+    call  factorial
+    nop
+    smul  %o0, %i0, %i0     ; n * factorial(n-1) into the return reg
+    ret                     ; fused ret + restore
+base:
+    mov   1, %i0
+    ret
+"""
+
+#: factorial whose epilogue uses the restore-as-add peephole (§4.3):
+#: the result is computed *by the restore instruction itself*, so an
+#: underflow trap must emulate the add — the exact case the paper's
+#: handler interprets.
+FACTORIAL_RETADD = """
+start:
+    mov   7, %o0
+    call  factorial
+    nop
+    halt                    ; %o0 = 5040
+
+factorial:
+    save
+    cmp   %i0, 2
+    bl    base
+    add   %i0, -1, %o0
+    call  factorial
+    nop
+    smul  %o0, %i0, %l1
+    retadd %l1, %g0, %o0    ; caller's %o0 = %l1 + 0, via restore
+base:
+    retadd %g0, 1, %o0      ; caller's %o0 = 1
+"""
+
+#: naive double recursion: lots of window traffic at small files
+FIBONACCI = """
+start:
+    mov   10, %o0
+    call  fib
+    nop
+    halt                    ; %o0 = 55
+
+fib:
+    save
+    cmp   %i0, 2
+    bl    fib_base
+    add   %i0, -1, %o0
+    call  fib
+    nop
+    mov   %o0, %l1          ; fib(n-1)
+    add   %i0, -2, %o0
+    call  fib
+    nop
+    add   %o0, %l1, %i0     ; fib(n-2) + fib(n-1)
+    ret
+fib_base:
+    mov   %i0, %i0
+    ret
+"""
+
+#: mutual recursion: is_even/is_odd by decrementing to zero
+MUTUAL = """
+start:
+    mov   9, %o0
+    call  is_even
+    nop
+    halt                    ; %o0 = 0 (9 is odd)
+
+is_even:
+    save
+    cmp   %i0, 0
+    be    even_yes
+    add   %i0, -1, %o0
+    call  is_odd
+    nop
+    mov   %o0, %i0
+    ret
+even_yes:
+    mov   1, %i0
+    ret
+
+is_odd:
+    save
+    cmp   %i0, 0
+    be    odd_no
+    add   %i0, -1, %o0
+    call  is_even
+    nop
+    mov   %o0, %i0
+    ret
+odd_no:
+    mov   0, %i0
+    ret
+"""
+
+#: two threads incrementing their own memory counters, yielding every
+#: iteration; each also makes a nested call per step so both threads
+#: keep live windows across switches.
+TWO_COUNTERS = """
+start:
+    mov   0, %l0            ; counter value
+    mov   0, %l1            ; loop index
+loop:
+    cmp   %l1, 8
+    bge   finish
+    mov   %l0, %o0
+    call  bump
+    nop
+    mov   %o0, %l0
+    st    %l0, [%i1]        ; args: %i0 unused, %i1 = result address
+    add   %l1, 1, %l1
+    yield
+    ba    loop
+finish:
+    mov   %l0, %o0
+    halt
+
+bump:
+    save
+    add   %i0, 1, %i0
+    ret
+"""
+
+#: Takeuchi's function: heavy triple recursion, brutal on small files
+TAK = """
+start:
+    mov   10, %o0
+    mov   5, %o1
+    mov   3, %o2
+    call  tak
+    nop
+    halt                    ; tak(10,5,3) = 4
+
+tak:
+    save
+    cmp   %i1, %i0          ; if y >= x: return z
+    bl    tak_recurse
+    mov   %i2, %i0
+    ret
+tak_recurse:
+    add   %i0, -1, %o0      ; tak(x-1, y, z)
+    mov   %i1, %o1
+    mov   %i2, %o2
+    call  tak
+    nop
+    mov   %o0, %l0
+    add   %i1, -1, %o0      ; tak(y-1, z, x)
+    mov   %i2, %o1
+    mov   %i0, %o2
+    call  tak
+    nop
+    mov   %o0, %l1
+    add   %i2, -1, %o0      ; tak(z-1, x, y)
+    mov   %i0, %o1
+    mov   %i1, %o2
+    call  tak
+    nop
+    mov   %o0, %l2
+    mov   %l0, %o0          ; tak(tak(...), tak(...), tak(...))
+    mov   %l1, %o1
+    mov   %l2, %o2
+    call  tak
+    nop
+    mov   %o0, %i0
+    ret
+"""
+
+#: Ackermann (tiny arguments!) — the deepest stacks we dare simulate
+ACKERMANN = """
+start:
+    mov   2, %o0
+    mov   3, %o1
+    call  ack
+    nop
+    halt                    ; ack(2,3) = 9
+
+ack:
+    save
+    cmp   %i0, 0
+    be    ack_base          ; ack(0,n) = n+1
+    cmp   %i1, 0
+    be    ack_m             ; ack(m,0) = ack(m-1,1)
+    mov   %i0, %o0          ; ack(m, n-1)
+    add   %i1, -1, %o1
+    call  ack
+    nop
+    mov   %o0, %o1          ; second argument = ack(m, n-1)
+    add   %i0, -1, %o0      ; first argument = m-1
+    call  ack
+    nop
+    mov   %o0, %i0
+    ret
+ack_base:
+    add   %i1, 1, %i0
+    ret
+ack_m:
+    add   %i0, -1, %o0
+    mov   1, %o1
+    call  ack
+    nop
+    mov   %o0, %i0
+    ret
+"""
+
+#: deep single recursion parameterised via memory cell 0
+DEEP_SUM = """
+start:
+    ld    [%g0 + 0], %o0    ; n from memory address 0
+    call  sum
+    nop
+    halt                    ; %o0 = n + (n-1) + ... + 1
+
+sum:
+    save
+    cmp   %i0, 1
+    ble   sum_base
+    add   %i0, -1, %o0
+    call  sum
+    nop
+    add   %o0, %i0, %i0
+    ret
+sum_base:
+    mov   %i0, %i0
+    ret
+"""

@@ -1,0 +1,5 @@
+"""Instrumentation: counters, event traces, behaviour analysis, reporting."""
+
+from repro.metrics.counters import Counters, SwitchRecord, TrapRecord
+
+__all__ = ["Counters", "SwitchRecord", "TrapRecord"]

@@ -1,0 +1,157 @@
+"""Event counters shared by the CPU, the window-management schemes and the
+runtime kernel.
+
+Everything the paper's evaluation reports is derived from these counts:
+
+* dynamic ``save``/``restore`` instruction counts (Table 1, Figure 13),
+* overflow/underflow trap counts (Figure 13),
+* per-context-switch window-transfer histograms (Table 2, Figure 12),
+* cycle totals split by category (Figures 11, 12, 14, 15).
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class SwitchRecord:
+    """One context switch: which threads, how many windows moved, cycle cost."""
+
+    out_tid: Optional[int]
+    in_tid: int
+    saves: int
+    restores: int
+    cycles: int
+
+
+@dataclass
+class TrapRecord:
+    """One window trap: kind, whether a window was transferred, cycle cost."""
+
+    kind: str  # "overflow" | "underflow"
+    tid: int
+    spilled: bool
+    restored: bool
+    cycles: int
+
+
+@dataclass
+class Counters:
+    """Mutable aggregate statistics for one simulation run."""
+
+    saves: int = 0
+    restores: int = 0
+    overflow_traps: int = 0
+    underflow_traps: int = 0
+    windows_spilled: int = 0
+    windows_restored: int = 0
+    context_switches: int = 0
+    switch_transfer_hist: _Counter = field(default_factory=_Counter)
+
+    compute_cycles: int = 0
+    call_cycles: int = 0
+    trap_cycles: int = 0
+    switch_cycles: int = 0
+
+    per_thread_switches: Dict[int, int] = field(default_factory=dict)
+    per_thread_saves: Dict[int, int] = field(default_factory=dict)
+
+    keep_trace: bool = False
+    switch_trace: List[SwitchRecord] = field(default_factory=list)
+    trap_trace: List[TrapRecord] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        """Total simulated cycles across all cost categories."""
+        return (self.compute_cycles + self.call_cycles
+                + self.trap_cycles + self.switch_cycles)
+
+    @property
+    def window_traps(self) -> int:
+        """Overflow plus underflow traps (numerator of Figure 13)."""
+        return self.overflow_traps + self.underflow_traps
+
+    @property
+    def trap_probability(self) -> float:
+        """Window traps divided by executed save+restore instructions.
+
+        This is exactly the y-axis of the paper's Figure 13.
+        """
+        executed = self.saves + self.restores
+        if executed == 0:
+            return 0.0
+        return self.window_traps / executed
+
+    @property
+    def avg_switch_cycles(self) -> float:
+        """Average cycles per context switch (y-axis of Figure 12)."""
+        if self.context_switches == 0:
+            return 0.0
+        return self.switch_cycles / self.context_switches
+
+    def record_save(self, tid: int) -> None:
+        self.saves += 1
+        self.per_thread_saves[tid] = self.per_thread_saves.get(tid, 0) + 1
+
+    def record_restore(self, tid: int) -> None:
+        self.restores += 1
+
+    def record_trap(self, kind: str, tid: int, cycles: int,
+                    spilled: bool = False, restored: bool = False) -> None:
+        if kind == "overflow":
+            self.overflow_traps += 1
+        elif kind == "underflow":
+            self.underflow_traps += 1
+        else:
+            raise ValueError("unknown trap kind: %r" % kind)
+        if spilled:
+            self.windows_spilled += 1
+        if restored:
+            self.windows_restored += 1
+        self.trap_cycles += cycles
+        if self.keep_trace:
+            self.trap_trace.append(
+                TrapRecord(kind, tid, spilled, restored, cycles))
+
+    def record_switch(self, out_tid: Optional[int], in_tid: int,
+                      saves: int, restores: int, cycles: int) -> None:
+        self.context_switches += 1
+        self.switch_transfer_hist[(saves, restores)] += 1
+        self.windows_spilled += saves
+        self.windows_restored += restores
+        self.switch_cycles += cycles
+        self.per_thread_switches[in_tid] = (
+            self.per_thread_switches.get(in_tid, 0) + 1)
+        if self.keep_trace:
+            self.switch_trace.append(
+                SwitchRecord(out_tid, in_tid, saves, restores, cycles))
+
+    def record_compute(self, cycles: int) -> None:
+        self.compute_cycles += cycles
+
+    def record_call_cycles(self, cycles: int) -> None:
+        self.call_cycles += cycles
+
+    def transfer_histogram(self) -> Dict[Tuple[int, int], int]:
+        """Histogram of (windows saved, windows restored) per switch."""
+        return dict(self.switch_transfer_hist)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict summary, convenient for reporting and assertions."""
+        return {
+            "saves": self.saves,
+            "restores": self.restores,
+            "overflow_traps": self.overflow_traps,
+            "underflow_traps": self.underflow_traps,
+            "windows_spilled": self.windows_spilled,
+            "windows_restored": self.windows_restored,
+            "context_switches": self.context_switches,
+            "compute_cycles": self.compute_cycles,
+            "call_cycles": self.call_cycles,
+            "trap_cycles": self.trap_cycles,
+            "switch_cycles": self.switch_cycles,
+            "total_cycles": self.total_cycles,
+        }

@@ -1,0 +1,123 @@
+"""Window-occupancy timelines: who owned each physical window, over
+time.
+
+The paper's Figures 5–9 are snapshots of the window file as threads
+come and go; this module records such snapshots at every context
+switch and renders the whole run as a timeline — one row per physical
+window, one column per scheduling quantum — which makes the difference
+between the schemes directly visible (NS wipes the file every column;
+SP's columns barely change).
+
+Attach with ``kernel.timeline = OccupancyTimeline()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.windows.occupancy import FRAME, FREE, RESERVED
+
+#: cell glyphs: thread ids 0..9 then letters; free and reserved
+_FREE_GLYPH = "."
+_RESERVED_GLYPH = "#"
+_PRW_GLYPHS = "abcdefghijklmnopqrstuvwxyz"
+_FRAME_GLYPHS = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+@dataclass
+class TimelineSample:
+    """Occupancy of every window at one instant."""
+
+    cycle: int
+    running_tid: int
+    cells: List[str]  # one glyph per physical window
+
+
+class OccupancyTimeline:
+    """Records window-map snapshots; renders them as a timeline."""
+
+    def __init__(self, max_samples: int = 4096):
+        self.max_samples = max_samples
+        self.samples: List[TimelineSample] = []
+        self.n_windows: Optional[int] = None
+        self._dropped = 0
+
+    # -- kernel hook -----------------------------------------------------------
+
+    def snapshot(self, cpu, running_tid: int, cycle: int) -> None:
+        if len(self.samples) >= self.max_samples:
+            self._dropped += 1
+            return
+        wmap = cpu.map
+        self.n_windows = wmap.n_windows
+        cells = []
+        for w in range(wmap.n_windows):
+            kind, tid = wmap.entry(w)
+            if kind == FREE:
+                cells.append(_FREE_GLYPH)
+            elif kind == RESERVED:
+                if tid is None:
+                    cells.append(_RESERVED_GLYPH)
+                else:
+                    cells.append(_PRW_GLYPHS[tid % len(_PRW_GLYPHS)])
+            else:
+                cells.append(
+                    _FRAME_GLYPHS[tid % len(_FRAME_GLYPHS)])
+        self.samples.append(TimelineSample(cycle, running_tid, cells))
+
+    # -- analysis ----------------------------------------------------------------
+
+    def occupancy_ratio(self) -> float:
+        """Mean fraction of windows holding live frames."""
+        if not self.samples or not self.n_windows:
+            return 0.0
+        frames = sum(
+            sum(1 for c in s.cells if c in _FRAME_GLYPHS)
+            for s in self.samples)
+        return frames / (len(self.samples) * self.n_windows)
+
+    def churn(self) -> float:
+        """Mean fraction of windows whose occupant changed between
+        consecutive samples — low churn is the visual signature of the
+        sharing schemes."""
+        if len(self.samples) < 2 or not self.n_windows:
+            return 0.0
+        changed = 0
+        for prev, cur in zip(self.samples, self.samples[1:]):
+            changed += sum(1 for a, b in zip(prev.cells, cur.cells)
+                           if a != b)
+        return changed / ((len(self.samples) - 1) * self.n_windows)
+
+    def distinct_owners(self, window: int) -> int:
+        """How many different threads' frames a window held."""
+        owners = set()
+        for s in self.samples:
+            cell = s.cells[window]
+            if cell in _FRAME_GLYPHS:
+                owners.add(cell)
+        return len(owners)
+
+    # -- rendering ----------------------------------------------------------------
+
+    def render(self, max_columns: int = 100, legend: bool = True) -> str:
+        """Rows = windows (W0 on top), columns = samples."""
+        if not self.samples or not self.n_windows:
+            return "(no samples)"
+        samples = self.samples
+        if len(samples) > max_columns:
+            step = len(samples) / max_columns
+            samples = [samples[int(i * step)] for i in range(max_columns)]
+        lines = []
+        for w in range(self.n_windows):
+            row = "".join(s.cells[w] for s in samples)
+            lines.append("W%-2d %s" % (w, row))
+        if legend:
+            lines.append("")
+            lines.append("    digits/letters=thread frames  "
+                         "lowercase=PRW  #=reserved  .=free  "
+                         "(%d samples%s)"
+                         % (len(self.samples),
+                            ", %d dropped" % self._dropped
+                            if self._dropped else ""))
+        return "\n".join(lines)

@@ -1,0 +1,9 @@
+"""Runtime-level errors."""
+
+
+class RuntimeFault(Exception):
+    """A thread or the kernel did something structurally invalid."""
+
+
+class DeadlockError(RuntimeFault):
+    """No thread is ready and at least one is blocked."""

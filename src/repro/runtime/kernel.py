@@ -1,0 +1,380 @@
+"""The multi-tasking kernel: trampoline execution + non-preemptive
+scheduling over the window simulator.
+
+Every procedure call a thread makes becomes a simulated ``save`` and
+every return a ``restore``; blocking stream operations suspend the
+thread and context-switch through the window-management scheme.  The
+register file is used *functionally*: arguments travel through the
+caller's outs into the callee's ins, return values travel back through
+the in/out overlap across the restore, and each frame carries a
+signature in a local register — so a window-management bug corrupts
+application results instead of passing silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core import make_scheme
+from repro.core.scheme import Scheme
+from repro.metrics.counters import Counters
+from repro.runtime.errors import DeadlockError, RuntimeFault
+from repro.runtime.ops import (
+    Call,
+    CloseStream,
+    FlushHint,
+    Join,
+    Read,
+    ReadLine,
+    Spawn,
+    Tick,
+    Write,
+    YieldCPU,
+)
+from repro.runtime.scheduler import ReadyQueue
+from repro.runtime.streams import Stream
+from repro.runtime.thread import (
+    BLOCKED,
+    DONE,
+    RUNNING,
+    SimThread,
+)
+from repro.windows.cpu import WindowCPU
+from repro.windows.errors import WindowIntegrityError
+
+
+@dataclass
+class RunResult:
+    """Outcome of a completed simulation."""
+
+    counters: Counters
+    threads: List[SimThread]
+    steps: int
+    slackness_samples: List[int] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.counters.total_cycles
+
+    def result_of(self, name: str) -> Any:
+        for t in self.threads:
+            if t.name == name:
+                return t.result
+        raise KeyError(name)
+
+    def thread_results(self) -> Dict[str, Any]:
+        return {t.name: t.result for t in self.threads}
+
+
+class Kernel:
+    """Owns the CPU, the scheme, the ready queue and all threads."""
+
+    def __init__(self, n_windows: int = 8, scheme: str = "SP",
+                 queue_policy=None, cost_model=None,
+                 counters: Optional[Counters] = None,
+                 allocation=None, verify_registers: bool = True,
+                 scheme_kwargs: Optional[dict] = None):
+        self.counters = counters if counters is not None else Counters()
+        self.cpu = WindowCPU(n_windows, cost_model, self.counters)
+        kwargs = dict(scheme_kwargs or {})
+        if isinstance(scheme, Scheme):
+            self.scheme = scheme
+        elif scheme.upper() == "NS":
+            self.scheme = make_scheme("NS", self.cpu, **kwargs)
+        else:
+            if allocation is not None:
+                kwargs.setdefault("allocation", allocation)
+            self.scheme = make_scheme(scheme, self.cpu, **kwargs)
+        self.ready = ReadyQueue(queue_policy)
+        self.threads: List[SimThread] = []
+        self.current: Optional[SimThread] = None
+        self.last_suspended: Optional[SimThread] = None
+        self.verify_registers = verify_registers
+        #: optional repro.metrics.behavior.BehaviorTracker
+        self.tracker = None
+        #: optional repro.metrics.tracing.OccupancyTimeline
+        self.timeline = None
+        self._running = False
+        self._steps = 0
+
+    # -- setup ------------------------------------------------------------
+
+    def spawn(self, factory, *args, name: str = "") -> SimThread:
+        """Create a thread running ``factory(*args)`` (a generator).
+
+        Before ``run()`` only; running threads use the ``Spawn`` op.
+        """
+        if self._running:
+            raise RuntimeFault(
+                "spawn() after run() started; yield Spawn(...) instead")
+        return self._spawn(factory, args, name)
+
+    def _spawn(self, factory, args, name: str) -> SimThread:
+        thread = SimThread(len(self.threads), name, factory, args)
+        self.threads.append(thread)
+        self.scheme.register(thread.windows)
+        self.ready.push_new(thread)
+        return thread
+
+    def stream(self, capacity: int, name: str = "") -> Stream:
+        """Convenience stream constructor."""
+        return Stream(capacity, name)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, max_steps: Optional[int] = None) -> RunResult:
+        """Run every thread to completion; raises on deadlock."""
+        self._running = True
+        while True:
+            if self.current is None:
+                if not self.ready:
+                    blocked = [t for t in self.threads if t.state == BLOCKED]
+                    if blocked:
+                        raise DeadlockError(
+                            "no ready threads; blocked: %s" % ", ".join(
+                                "%s on %s" % (t.name, t.blocked_on)
+                                for t in blocked))
+                    break
+                self._dispatch(self.ready.pop())
+            self._run_quantum(max_steps)
+            if max_steps is not None and self._steps >= max_steps:
+                raise RuntimeFault("step budget of %d exceeded" % max_steps)
+        if self.tracker is not None:
+            self.tracker.finish(self.counters.total_cycles)
+        return RunResult(self.counters, list(self.threads), self._steps,
+                         list(self.ready.slackness_samples))
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _dispatch(self, thread: SimThread) -> None:
+        out = self.last_suspended
+        assert out is not thread, "self-switch should be impossible"
+        out_tw = out.windows if out is not None else None
+        flush = out.flush_on_switch if out is not None else False
+        self.scheme.context_switch(out_tw, thread.windows, flush_out=flush)
+        self.last_suspended = None
+        self.current = thread
+        thread.state = RUNNING
+        if not thread.gen_stack:
+            thread.start_root()
+            if self.verify_registers:
+                self.cpu.write_local(0, ("sig", thread.tid, 1))
+        if self.tracker is not None:
+            self.tracker.on_dispatch(thread.tid, thread.windows.depth,
+                                     self.counters.total_cycles)
+        if self.timeline is not None:
+            self.timeline.snapshot(self.cpu, thread.tid,
+                                   self.counters.total_cycles)
+
+    # -- quantum execution ----------------------------------------------------------
+
+    def _run_quantum(self, max_steps: Optional[int]) -> None:
+        """Run the current thread until it blocks, yields or finishes."""
+        thread = self.current
+        assert thread is not None
+        tw = thread.windows
+        cpu = self.cpu
+        verify = self.verify_registers
+        while True:
+            self._steps += 1
+            if max_steps is not None and self._steps >= max_steps:
+                return
+            if thread.pending is not None:
+                if not self._continue_pending(thread):
+                    self._block(thread)
+                    return
+            gen = thread.gen_stack[-1]
+            try:
+                cmd = gen.send(thread.resume_value)
+            except StopIteration as stop:
+                if self._handle_return(thread, getattr(stop, "value", None)):
+                    return  # thread finished
+                continue
+            thread.resume_value = None
+            t = type(cmd)
+            if t is Tick:
+                cpu.tick(cmd.cycles)
+            elif t is Call:
+                self._do_call(thread, cmd)
+            elif t is Read:
+                thread.pending = ("read", cmd.stream, cmd.max_bytes)
+            elif t is Write:
+                thread.pending = ("write", cmd.stream, cmd.data, 0)
+            elif t is ReadLine:
+                thread.pending = ("readline", cmd.stream)
+            elif t is CloseStream:
+                self._do_close(cmd.stream)
+            elif t is YieldCPU:
+                if self.ready:
+                    self.ready.push_yielded(thread)
+                    self.last_suspended = thread
+                    self.current = None
+                    return
+                # Nobody else to run: keep going, no switch, no cost.
+            elif t is FlushHint:
+                thread.flush_on_switch = cmd.flush
+            elif t is Spawn:
+                thread.resume_value = self._spawn(
+                    cmd.factory, cmd.args, cmd.name)
+            elif t is Join:
+                if cmd.thread is thread:
+                    raise RuntimeFault(
+                        "%s tried to join itself" % thread.name)
+                thread.pending = ("join", cmd.thread)
+            else:
+                raise RuntimeFault(
+                    "thread %s yielded %r; expected a runtime op"
+                    % (thread.name, cmd))
+
+    # -- call / return ----------------------------------------------------------
+
+    def _do_call(self, thread: SimThread, cmd: Call) -> None:
+        thread.calls += 1
+        cpu = self.cpu
+        tw = thread.windows
+        args = cmd.args
+        if self.verify_registers:
+            for i, a in enumerate(args[:8]):
+                cpu.write_out(i, a)
+        cpu.save(tw)
+        if self.verify_registers:
+            for i, a in enumerate(args[:8]):
+                got = cpu.read_in(i)
+                if got is not a and got != a:
+                    raise WindowIntegrityError(
+                        "argument %d of %s corrupted across save: %r != %r"
+                        % (i, thread.name, got, a))
+            cpu.write_local(0, ("sig", thread.tid, tw.depth))
+        thread.gen_stack.append(cmd.factory(*args))
+        thread.resume_value = None
+        if self.tracker is not None:
+            self.tracker.on_depth(tw.depth)
+
+    def _handle_return(self, thread: SimThread, value: Any) -> bool:
+        """Pop a finished procedure; True when the thread is done."""
+        thread.gen_stack.pop()
+        tw = thread.windows
+        cpu = self.cpu
+        if not thread.gen_stack:
+            if self.verify_registers and tw.depth != 1:
+                raise WindowIntegrityError(
+                    "thread %s finished at call depth %d"
+                    % (thread.name, tw.depth))
+            thread.result = value
+            thread.state = DONE
+            self.scheme.retire(tw)
+            self.current = None
+            for waiter in thread.join_waiters:
+                waiter.blocked_on = None
+                self.ready.push_woken(waiter)
+            del thread.join_waiters[:]
+            return True
+        thread.returns += 1
+        if self.verify_registers:
+            sig = cpu.read_local(0)
+            if sig != ("sig", thread.tid, tw.depth):
+                raise WindowIntegrityError(
+                    "thread %s frame signature corrupted: %r at depth %d"
+                    % (thread.name, sig, tw.depth))
+        cpu.write_in(0, value)
+        cpu.restore(tw)
+        thread.resume_value = cpu.read_out(0)
+        if self.tracker is not None:
+            self.tracker.on_depth(tw.depth)
+        return False
+
+    # -- blocking stream operations ------------------------------------------------
+
+    def _continue_pending(self, thread: SimThread) -> bool:
+        """Try to complete the in-flight op; False means block."""
+        pending = thread.pending
+        kind = pending[0]
+        if kind == "join":
+            target: SimThread = pending[1]
+            if target.state != DONE:
+                return False
+            thread.pending = None
+            thread.resume_value = target.result
+            return True
+        stream: Stream = pending[1]
+        if kind == "read":
+            if stream.is_empty and not stream.closed:
+                return False
+            data = stream.pull(pending[2])
+            if data and stream.write_waiters:
+                self._wake_writers(stream)
+            thread.pending = None
+            thread.resume_value = data
+            return True
+        if kind == "write":
+            data, offset = pending[2], pending[3]
+            pushed = stream.push(data[offset:])
+            if pushed:
+                offset += pushed
+                if stream.read_waiters:
+                    self._wake_readers(stream)
+            if offset >= len(data):
+                thread.pending = None
+                thread.resume_value = None
+                return True
+            thread.pending = ("write", stream, data, offset)
+            return False
+        if kind == "readline":
+            if stream.has_line() or stream.at_eof:
+                line = stream.pull_line()
+                if line is None:
+                    line = b""
+                if line and stream.write_waiters:
+                    self._wake_writers(stream)
+                thread.pending = None
+                thread.resume_value = line
+                return True
+            if stream.is_full:
+                raise RuntimeFault(
+                    "readline on %r: line longer than the stream capacity"
+                    % stream.name)
+            return False
+        raise RuntimeFault("unknown pending op %r" % kind)
+
+    def _block(self, thread: SimThread) -> None:
+        pending = thread.pending
+        if pending[0] == "join":
+            target: SimThread = pending[1]
+            target.join_waiters.append(thread)
+            thread.blocked_on = "join %s" % target.name
+            thread.state = BLOCKED
+            thread.blocks += 1
+            self.last_suspended = thread
+            self.current = None
+            return
+        stream: Stream = pending[1]
+        if pending[0] == "write":
+            stream.write_waiters.append(thread)
+            thread.blocked_on = "write %s" % (stream.name or "stream")
+        else:
+            stream.read_waiters.append(thread)
+            thread.blocked_on = "read %s" % (stream.name or "stream")
+        thread.state = BLOCKED
+        thread.blocks += 1
+        self.last_suspended = thread
+        self.current = None
+
+    def _do_close(self, stream: Stream) -> None:
+        stream.close()
+        if stream.read_waiters:
+            self._wake_readers(stream)
+        if stream.write_waiters:
+            self._wake_writers(stream)
+
+    def _wake_readers(self, stream: Stream) -> None:
+        for waiter in stream.read_waiters:
+            waiter.blocked_on = None
+            self.ready.push_woken(waiter)
+        del stream.read_waiters[:]
+
+    def _wake_writers(self, stream: Stream) -> None:
+        for waiter in stream.write_waiters:
+            waiter.blocked_on = None
+            self.ready.push_woken(waiter)
+        del stream.write_waiters[:]

@@ -1,0 +1,65 @@
+"""The ready queue: FIFO base order plus a pluggable enqueue policy.
+
+The paper's scheduling is non-preemptive FIFO (§4.5); the working-set
+variant (§4.6) differs only in letting an awoken thread with resident
+windows enter at the front.  Both policies live in
+:mod:`repro.core.working_set`; this class just applies them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.working_set import FIFOPolicy, FRONT, QueuePolicy
+from repro.runtime.thread import READY, SimThread
+
+
+class ReadyQueue:
+    """Deque of ready threads with policy-driven insertion."""
+
+    def __init__(self, policy: Optional[QueuePolicy] = None):
+        self.policy = policy if policy is not None else FIFOPolicy()
+        self._queue: deque = deque()
+        #: parallel-slackness samples (§5): queue length at each pop
+        self.slackness_samples = []
+        self.sample_slackness = False
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def push_new(self, thread: SimThread) -> None:
+        """A freshly spawned thread always enters at the back."""
+        thread.state = READY
+        self._queue.append(thread)
+
+    def push_woken(self, thread: SimThread) -> None:
+        """A thread awoken by another thread; placement is the policy's
+        single decision point (§4.6)."""
+        thread.state = READY
+        if self.policy.enqueue_position(thread.windows) == FRONT:
+            self._queue.appendleft(thread)
+        else:
+            self._queue.append(thread)
+
+    def push_yielded(self, thread: SimThread) -> None:
+        """A thread that voluntarily yielded the CPU."""
+        thread.state = READY
+        if self.policy.yield_position(thread.windows) == FRONT:
+            self._queue.appendleft(thread)
+        else:
+            self._queue.append(thread)
+
+    def pop(self) -> SimThread:
+        if self.sample_slackness:
+            self.slackness_samples.append(len(self._queue) - 1)
+        return self._queue.popleft()
+
+    def remove(self, thread: SimThread) -> None:
+        self._queue.remove(thread)
+
+    def peek_all(self):
+        return list(self._queue)

@@ -1,0 +1,42 @@
+"""SPARC-style cyclic overlapping register-window substrate.
+
+Terminology follows the paper exactly (§2):
+
+* window ``i-1`` is *above* window ``i``; window ``i+1`` is *below* it;
+* ``save`` decrements the current window pointer (CWP), ``restore``
+  increments it;
+* "a window" means the in+local register pair; the out registers of
+  window ``w`` are physically the in registers of the window above
+  (the callee side).
+"""
+
+from repro.windows.backing_store import BackingStore, Frame
+from repro.windows.cpu import WindowCPU
+from repro.windows.errors import (
+    WindowError,
+    WindowGeometryError,
+    WindowIntegrityError,
+)
+from repro.windows.occupancy import (
+    FRAME,
+    FREE,
+    RESERVED,
+    WindowMap,
+)
+from repro.windows.thread_windows import ThreadWindows
+from repro.windows.window_file import WindowFile
+
+__all__ = [
+    "BackingStore",
+    "Frame",
+    "WindowCPU",
+    "WindowError",
+    "WindowGeometryError",
+    "WindowIntegrityError",
+    "FRAME",
+    "FREE",
+    "RESERVED",
+    "WindowMap",
+    "ThreadWindows",
+    "WindowFile",
+]

@@ -1,0 +1,131 @@
+"""The simulated processor: executes ``save``/``restore``, raising window
+traps to the attached management scheme.
+
+This class plays the role of the paper's "register window emulator"
+(§6.1): ordinary computation runs at full (host) speed and only the
+window-related operations are interpreted, with a cycle counter charged
+from the cost model.  The number of physical windows is a constructor
+parameter, which is how the evaluation sweeps 4–32 windows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metrics.counters import Counters
+from repro.windows.errors import WindowGeometryError
+from repro.windows.occupancy import WindowMap
+from repro.windows.thread_windows import ThreadWindows
+from repro.windows.window_file import WindowFile
+
+
+class WindowCPU:
+    """Window file + occupancy map + counters, with scheme trap hooks."""
+
+    def __init__(self, n_windows: int, cost_model=None,
+                 counters: Optional[Counters] = None):
+        from repro.core.costs import CostModel  # local: avoid import cycle
+
+        self.wf = WindowFile(n_windows)
+        self.map = WindowMap(n_windows)
+        self.counters = counters if counters is not None else Counters()
+        self.cost = cost_model if cost_model is not None else CostModel()
+        self.scheme = None
+        #: the thread currently executing on this CPU
+        self.current: Optional[ThreadWindows] = None
+
+    @property
+    def n_windows(self) -> int:
+        return self.wf.n_windows
+
+    def bind_scheme(self, scheme) -> None:
+        if self.scheme is not None and self.scheme is not scheme:
+            raise WindowGeometryError("a scheme is already bound to this CPU")
+        self.scheme = scheme
+
+    # -- the two window instructions --------------------------------------
+
+    def save(self, tw: ThreadWindows) -> None:
+        """Execute a ``save``: enter a new window for a procedure call.
+
+        May raise a (simulated) window overflow trap, handled by the
+        bound scheme, whose postcondition is that the target window is
+        valid and free.
+        """
+        self._check_running(tw)
+        wf = self.wf
+        self.counters.record_save(tw.tid)
+        self.counters.record_call_cycles(self.cost.save_instr)
+        target = wf.above(wf.cwp)
+        if wf.is_invalid(target):
+            self.scheme.handle_overflow(tw)
+            target = wf.above(wf.cwp)
+            if wf.is_invalid(target):
+                raise WindowGeometryError(
+                    "overflow handler left target window %d invalid" % target)
+        wf.cwp = target
+        tw.cwp = target
+        tw.resident += 1
+        tw.depth += 1
+        self.map.set_frame(target, tw.tid)
+
+    def restore(self, tw: ThreadWindows) -> bool:
+        """Execute a ``restore``: return to the caller's window.
+
+        May raise a (simulated) window underflow trap.  Returns True if
+        the trap handler performed an in-place restore (the CWP did not
+        physically move) — callers never need this, but tests do.
+        """
+        self._check_running(tw)
+        if tw.depth <= 1:
+            raise WindowGeometryError(
+                "thread %d executed restore at depth %d" % (tw.tid, tw.depth))
+        wf = self.wf
+        self.counters.record_restore(tw.tid)
+        self.counters.record_call_cycles(self.cost.restore_instr)
+        target = wf.below(wf.cwp)
+        if wf.is_invalid(target):
+            self.scheme.handle_underflow(tw)
+            return True
+        # Plain restore: the callee's window is vacated.
+        self.map.set_free(wf.cwp)
+        wf.cwp = target
+        tw.cwp = target
+        tw.resident -= 1
+        tw.depth -= 1
+        return False
+
+    # -- register accessors (current window) ------------------------------
+
+    def write_local(self, i: int, value) -> None:
+        self.wf.write_local(i, value)
+
+    def read_local(self, i: int):
+        return self.wf.read_local(i)
+
+    def write_in(self, i: int, value) -> None:
+        self.wf.write_in(i, value)
+
+    def read_in(self, i: int):
+        return self.wf.read_in(i)
+
+    def write_out(self, i: int, value) -> None:
+        self.wf.write_out(i, value)
+
+    def read_out(self, i: int):
+        return self.wf.read_out(i)
+
+    def tick(self, cycles: int) -> None:
+        """Charge ordinary computation cycles."""
+        self.counters.record_compute(cycles)
+
+    def _check_running(self, tw: ThreadWindows) -> None:
+        if self.scheme is None:
+            raise WindowGeometryError("no scheme bound to the CPU")
+        if self.current is not tw:
+            raise WindowGeometryError(
+                "thread %d is not the running thread" % tw.tid)
+        if tw.cwp != self.wf.cwp:
+            raise WindowGeometryError(
+                "thread %d cwp desynchronised (%s != %s)"
+                % (tw.tid, tw.cwp, self.wf.cwp))

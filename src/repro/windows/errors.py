@@ -1,0 +1,13 @@
+"""Exceptions raised by the window substrate."""
+
+
+class WindowError(Exception):
+    """Base class for register-window simulation errors."""
+
+
+class WindowGeometryError(WindowError):
+    """The cyclic window geometry was violated (bad CWP/WIM/occupancy)."""
+
+
+class WindowIntegrityError(WindowError):
+    """Register contents were corrupted across a spill/restore cycle."""

@@ -1,0 +1,157 @@
+"""The physical register file: cyclic overlapping windows, CWP and WIM.
+
+The file holds ``n_windows`` windows.  Each window owns eight *in* and
+eight *local* registers.  The eight *out* registers of window ``w`` are
+physically the *in* registers of the window above (``w - 1`` mod n),
+because a ``save`` moves the CWP one window up and the caller's outs
+become the callee's ins.  Eight *global* registers are shared by all
+windows.
+
+The Window Invalid Mask (WIM) is a set of window indices; executing
+``save`` into an invalid window raises an overflow trap, executing
+``restore`` into one raises an underflow trap.  Trap *handling* lives in
+the management schemes (:mod:`repro.core`); this module only detects
+the conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.windows.backing_store import Frame
+from repro.windows.errors import WindowGeometryError
+
+REGS_PER_BANK = 8
+
+#: Smallest window file that supports the basic algorithm (one reserved
+#: window plus at least two frames so overflow never targets the CWP).
+MIN_WINDOWS = 3
+
+
+class WindowFile:
+    """Cyclic register-window file with in/out/local overlap."""
+
+    def __init__(self, n_windows: int):
+        if n_windows < MIN_WINDOWS:
+            raise WindowGeometryError(
+                "need at least %d windows, got %d" % (MIN_WINDOWS, n_windows))
+        self.n_windows = n_windows
+        self._ins: List[List[int]] = [
+            [0] * REGS_PER_BANK for _ in range(n_windows)]
+        self._locals: List[List[int]] = [
+            [0] * REGS_PER_BANK for _ in range(n_windows)]
+        self.global_regs: List[int] = [0] * REGS_PER_BANK
+        self.cwp = 0
+        self.wim: Set[int] = set()
+
+    # -- cyclic geometry ------------------------------------------------
+
+    def above(self, w: int) -> int:
+        """The window above ``w`` (the callee / stack-growth direction)."""
+        return (w - 1) % self.n_windows
+
+    def below(self, w: int) -> int:
+        """The window below ``w`` (the caller direction)."""
+        return (w + 1) % self.n_windows
+
+    def distance_above(self, start: int, end: int) -> int:
+        """How many steps *above* ``start`` window ``end`` lies (0..n-1)."""
+        return (start - end) % self.n_windows
+
+    def windows_from(self, top: int, count: int) -> List[int]:
+        """``count`` windows starting at ``top`` going downward (below)."""
+        return [(top + i) % self.n_windows for i in range(count)]
+
+    # -- WIM -------------------------------------------------------------
+
+    def set_wim(self, invalid: Iterable[int]) -> None:
+        wim = set(invalid)
+        for w in wim:
+            self._check_index(w)
+        self.wim = wim
+
+    def mark_invalid(self, w: int) -> None:
+        self._check_index(w)
+        self.wim.add(w)
+
+    def mark_valid(self, w: int) -> None:
+        self.wim.discard(w)
+
+    def is_invalid(self, w: int) -> bool:
+        return w in self.wim
+
+    # -- register access (current window) --------------------------------
+
+    def read_in(self, i: int) -> int:
+        return self._ins[self.cwp][i]
+
+    def write_in(self, i: int, value: int) -> None:
+        self._ins[self.cwp][i] = value
+
+    def read_local(self, i: int) -> int:
+        return self._locals[self.cwp][i]
+
+    def write_local(self, i: int, value: int) -> None:
+        self._locals[self.cwp][i] = value
+
+    def read_out(self, i: int) -> int:
+        return self._ins[self.above(self.cwp)][i]
+
+    def write_out(self, i: int, value: int) -> None:
+        self._ins[self.above(self.cwp)][i] = value
+
+    def read_global(self, i: int) -> int:
+        return self.global_regs[i]
+
+    def write_global(self, i: int, value: int) -> None:
+        if i == 0:
+            return  # %g0 is hardwired to zero
+        self.global_regs[i] = value
+
+    # -- whole-window access (trap handlers, context switches) -----------
+
+    def ins_of(self, w: int) -> List[int]:
+        self._check_index(w)
+        return self._ins[w]
+
+    def locals_of(self, w: int) -> List[int]:
+        self._check_index(w)
+        return self._locals[w]
+
+    def outs_of(self, w: int) -> List[int]:
+        """Physical storage of window ``w``'s out registers."""
+        return self._ins[self.above(w)]
+
+    def capture(self, w: int, depth: int = -1) -> Frame:
+        """Copy window ``w``'s in+local registers into a memory frame."""
+        return Frame(list(self._ins[w]), list(self._locals[w]), depth)
+
+    def load(self, w: int, frame: Frame) -> None:
+        """Write a memory frame back into window ``w``'s in+local registers."""
+        self._check_index(w)
+        self._ins[w][:] = frame.ins
+        self._locals[w][:] = frame.local_regs
+
+    def copy_ins_to_outs(self, w: int) -> None:
+        """The in-place underflow-restore register shuffle (paper §3.2).
+
+        The callee's in registers (return values and frame linkage,
+        shared with the caller's outs) are copied into the callee's out
+        registers so they survive the caller's frame being restored on
+        top of the callee's window.
+        """
+        self._ins[self.above(w)][:] = self._ins[w]
+
+    def clear_window(self, w: int, fill: int = 0) -> None:
+        """Scrub a window (used when handing a window to a fresh frame)."""
+        self._ins[w][:] = [fill] * REGS_PER_BANK
+        self._locals[w][:] = [fill] * REGS_PER_BANK
+
+    def _check_index(self, w: int) -> None:
+        if not 0 <= w < self.n_windows:
+            raise WindowGeometryError(
+                "window index %r out of range [0, %d)" % (w, self.n_windows))
+
+    def __repr__(self) -> str:
+        return "WindowFile(n=%d, cwp=%d, wim=%s)" % (
+            self.n_windows, self.cwp, sorted(self.wim))

@@ -1,0 +1,62 @@
+"""The T1 delatex filter, run through the sequential oracle."""
+
+from repro.apps.spellcheck.delatex import delatex_thread
+from repro.apps.spellcheck.oracle import _FakeStream, run_procedure
+
+
+def strip(latex: bytes, chunk: int = 64) -> list:
+    s_in, s_out = _FakeStream(), _FakeStream()
+    s_in.data.extend(latex)
+    run_procedure(delatex_thread(s_in, s_out, chunk))
+    return bytes(s_out.data).decode("ascii").split()
+
+
+class TestDelatex:
+    def test_plain_words_pass_through_lowercased(self):
+        assert strip(b"Hello World") == ["hello", "world"]
+
+    def test_one_word_per_line(self):
+        s_in, s_out = _FakeStream(), _FakeStream()
+        s_in.data.extend(b"a few words here")
+        run_procedure(delatex_thread(s_in, s_out))
+        assert bytes(s_out.data) == b"few\nwords\nhere\n"
+
+    def test_commands_stripped(self):
+        assert strip(b"\\section{Introduction} text") == [
+            "introduction", "text"]
+
+    def test_command_name_not_emitted(self):
+        assert strip(b"foo \\textbf bar") == ["foo", "bar"]
+
+    def test_math_mode_dropped(self):
+        assert strip(b"before $x_i + y$ after") == ["before", "after"]
+
+    def test_comments_dropped_to_end_of_line(self):
+        assert strip(b"keep % lost words\nnext") == ["keep", "next"]
+
+    def test_single_letters_dropped(self):
+        assert strip(b"a b word I x") == ["word"]
+
+    def test_punctuation_separates(self):
+        assert strip(b"one,two;three.") == ["one", "two", "three"]
+
+    def test_digits_split_tokens(self):
+        assert strip(b"word123more") == ["word", "more"]
+
+    def test_braces_are_separators(self):
+        assert strip(b"{inner}{more}") == ["inner", "more"]
+
+    def test_chunk_size_does_not_change_output(self):
+        latex = (b"\\section{The Window} Registers are $f$ fast %x\n"
+                 b"and \\emph{shared} among threads.")
+        baseline = strip(latex, 64)
+        for chunk in (1, 2, 3, 7, 16, 33):
+            assert strip(latex, chunk) == baseline
+
+    def test_trailing_word_without_newline_flushed(self):
+        assert strip(b"final") == ["final"]
+
+    def test_backslash_at_chunk_boundary(self):
+        latex = b"xx\\section{yy}"
+        for chunk in (1, 2, 3, 4):
+            assert strip(latex, chunk) == ["xx", "yy"]

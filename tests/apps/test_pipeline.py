@@ -1,0 +1,100 @@
+"""Whole-pipeline integration: the multi-threaded spell checker must
+produce *exactly* the sequential oracle's output under every scheme,
+every window count, and both scheduling policies — and its save counts
+must be configuration-independent (Table 1's structural property)."""
+
+import pytest
+
+from repro.apps.spellcheck import SpellConfig, run_spellchecker
+from repro.apps.spellcheck.corpus import (
+    DICT_SIZE,
+    generate_corpus,
+    generate_dictionaries,
+)
+from repro.apps.spellcheck.oracle import run_reference
+from repro.core.working_set import WorkingSetPolicy
+
+SCALE = 0.02  # ~800-byte corpus: fast but exercises every path
+
+
+@pytest.fixture(scope="module")
+def reference():
+    corpus = generate_corpus(scale=SCALE)
+    dict1, dict2, __ = generate_dictionaries(
+        size=max(200, int(round(DICT_SIZE * SCALE))))
+    report, results = run_reference(corpus, dict1, dict2)
+    return report
+
+
+@pytest.mark.parametrize("scheme", ["NS", "SNP", "SP"])
+@pytest.mark.parametrize("n_windows", [4, 5, 8, 16])
+def test_pipeline_matches_oracle(scheme, n_windows, reference):
+    config = SpellConfig.named("high", "fine", scale=SCALE)
+    __, output = run_spellchecker(n_windows, scheme, config,
+                                  verify_registers=True)
+    assert output == reference
+
+
+@pytest.mark.parametrize("concurrency", ["high", "low"])
+@pytest.mark.parametrize("granularity", ["coarse", "medium", "fine"])
+def test_all_configs_match_oracle(concurrency, granularity, reference):
+    config = SpellConfig.named(concurrency, granularity, scale=SCALE)
+    __, output = run_spellchecker(6, "SP", config, verify_registers=True)
+    assert output == reference
+
+
+def test_working_set_policy_matches_oracle(reference):
+    config = SpellConfig.named("high", "fine", scale=SCALE)
+    __, output = run_spellchecker(6, "SNP", config,
+                                  queue_policy=WorkingSetPolicy(),
+                                  verify_registers=True)
+    assert output == reference
+
+
+def test_save_counts_invariant_across_everything():
+    """Table 1: "the dynamic count of save instructions is independent
+    of the buffer size and scheduling strategy"."""
+    counts = set()
+    for scheme in ("NS", "SNP", "SP"):
+        for concurrency, granularity in (("high", "fine"),
+                                         ("low", "coarse")):
+            config = SpellConfig.named(concurrency, granularity,
+                                       scale=SCALE)
+            result, __ = run_spellchecker(7, scheme, config)
+            counts.add(result.counters.saves)
+    assert len(counts) == 1
+
+
+def test_switch_counts_scale_with_granularity():
+    switches = {}
+    for granularity in ("coarse", "medium", "fine"):
+        config = SpellConfig.named("high", granularity, scale=SCALE)
+        result, __ = run_spellchecker(8, "SP", config)
+        switches[granularity] = result.counters.context_switches
+    assert switches["fine"] > switches["medium"] > switches["coarse"]
+
+
+def test_low_concurrency_switches_less():
+    results = {}
+    for concurrency in ("high", "low"):
+        config = SpellConfig.named(concurrency, "fine", scale=SCALE)
+        result, __ = run_spellchecker(8, "SP", config)
+        results[concurrency] = result.counters.context_switches
+    assert results["low"] < results["high"]
+
+
+def test_saves_equal_restores_plus_roots():
+    """Every procedure call returns exactly once; root frames never
+    execute save/restore."""
+    config = SpellConfig.named("high", "medium", scale=SCALE)
+    result, __ = run_spellchecker(8, "SNP", config)
+    assert result.counters.saves == result.counters.restores
+
+
+def test_spilled_equals_restored_plus_dead():
+    """Windows spilled but never restored belong to threads that
+    finished with frames still in memory (their stacks died)."""
+    config = SpellConfig.named("high", "fine", scale=SCALE)
+    result, __ = run_spellchecker(5, "NS", config)
+    c = result.counters
+    assert c.windows_spilled >= c.windows_restored

@@ -1,0 +1,100 @@
+"""The two-stage spell-check logic (T2/T3), via the oracle runner."""
+
+from repro.apps.spellcheck.oracle import _FakeStream, run_procedure
+from repro.apps.spellcheck.spell import (
+    check_derivative,
+    check_word,
+    load_dictionary,
+    spell1_thread,
+    spell2_thread,
+)
+
+
+def run(gen):
+    return run_procedure(gen)
+
+
+def make_base_stream(words):
+    s = _FakeStream()
+    s.data.extend(("\n".join(words) + "\n").encode("ascii"))
+    return s
+
+
+class TestLoadDictionary:
+    def test_loads_all_words(self):
+        s = make_base_stream(["alpha", "beta", "gamma"])
+        words = run(load_dictionary(s))
+        assert words == {"alpha", "beta", "gamma"}
+
+    def test_skips_filler_lines(self):
+        s = _FakeStream()
+        s.data.extend(b"alpha\n#000123\nbeta\n")
+        assert run(load_dictionary(s)) == {"alpha", "beta"}
+
+    def test_chunking_independent(self):
+        words = ["w%03d" % i for i in range(100)]
+        for chunk in (3, 7, 64):
+            s = make_base_stream(words)
+            assert run(load_dictionary(s, chunk)) == set(words)
+
+
+class TestCheckDerivative:
+    BASES = {"move", "try", "wind", "pass", "happy"}
+
+    def check(self, word):
+        return run(check_derivative(word.encode(), self.BASES))
+
+    def test_correct_derivatives_pass(self):
+        assert self.check("moving") is False
+        assert self.check("tries") is False
+        assert self.check("winds") is False
+        assert self.check("passes") is False
+
+    def test_malformed_derivatives_flagged(self):
+        assert self.check("moveing") is True
+        assert self.check("trys") is True
+
+    def test_unknown_stems_not_flagged_here(self):
+        # not derived from any known base: T3's job, not T2's
+        assert self.check("zzzzzing") is False
+
+    def test_non_suffixed_words_pass(self):
+        assert self.check("window") is False
+
+
+class TestCheckWord:
+    BASES = {"move", "try", "wind", "window"}
+
+    def check(self, word):
+        return run(check_word(word.encode(), self.BASES))
+
+    def test_base_words_accepted(self):
+        assert self.check("window") is True
+
+    def test_derivatives_accepted_by_stripping(self):
+        assert self.check("windows") is True
+        assert self.check("moving") is True   # via stem+e
+        assert self.check("tries") is True    # via i->y rewrite
+
+    def test_unknown_rejected(self):
+        assert self.check("qwertyx") is False
+
+
+class TestThreadsEndToEnd:
+    def test_spell1_marks_and_forwards(self):
+        dict_stream = make_base_stream(["move", "try"])
+        s_in = _FakeStream()
+        s_in.data.extend(b"moving\nmoveing\nwindow\n")
+        s_out = _FakeStream()
+        flagged, passed = run(spell1_thread(dict_stream, s_in, s_out))
+        assert (flagged, passed) == (1, 2)
+        assert bytes(s_out.data) == b"moving\n!moveing\nwindow\n"
+
+    def test_spell2_reports_unknowns_and_bangs(self):
+        dict_stream = make_base_stream(["move", "window"])
+        s_in = _FakeStream()
+        s_in.data.extend(b"moving\n!moveing\nwindow\nqzzk\n")
+        s_out = _FakeStream()
+        reported, accepted = run(spell2_thread(dict_stream, s_in, s_out))
+        assert (reported, accepted) == (2, 2)
+        assert bytes(s_out.data) == b"moveing\nqzzk\n"

@@ -1,0 +1,38 @@
+"""The spell-checker command-line interface."""
+
+import pytest
+
+from repro.apps.spellcheck.__main__ import check_document, main
+from repro.apps.spellcheck.corpus import generate_dictionaries
+
+
+def test_cli_builtin_corpus(capsys):
+    assert main(["--scale", "0.02", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "possibly-misspelled words" in out
+    assert "avg-switch" in out
+
+
+def test_cli_checks_a_real_file(tmp_path, capsys):
+    tex = tmp_path / "doc.tex"
+    tex.write_bytes(
+        b"\\section{Windows} the window regsterq is \\emph{fast} and "
+        b"the thread schedule is good\n")
+    assert main([str(tex), "--scheme", "SNP", "--windows", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "regsterq" in out
+    assert "window" not in out.splitlines()[1:]  # known words accepted
+
+
+def test_check_document_scheme_independent():
+    dict1, dict2, __ = generate_dictionaries(size=1500)
+    document = (b"the window thread xqzzk processor \\cite{foo} "
+                b"schedule fast\n" * 5)
+    reports = set()
+    for scheme in ("NS", "SNP", "SP"):
+        __, report = check_document(document, dict1, dict2,
+                                    m=4, n=4, scheme=scheme,
+                                    n_windows=6)
+        reports.add(report)
+    assert len(reports) == 1
+    assert b"xqzzk" in reports.pop()

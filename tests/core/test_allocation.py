@@ -1,0 +1,76 @@
+"""Window-allocation policies (§4.2): simple, free-search, LRU-bottom."""
+
+import pytest
+
+from repro.core.allocation import (
+    FreeSearchAllocation,
+    LRUBottomAllocation,
+    SimpleAllocation,
+)
+from tests.helpers import (
+    call_to_depth,
+    dispatch,
+    make_machine,
+    new_thread,
+    verify,
+)
+
+
+def _build_three_threads(scheme_name, n_windows, allocation):
+    cpu, scheme = make_machine(n_windows, scheme_name,
+                               allocation=allocation)
+    threads = [new_thread(scheme, i) for i in range(3)]
+    return cpu, scheme, threads
+
+
+@pytest.mark.parametrize("scheme_name", ["SNP", "SP"])
+class TestFreeSearch:
+    def test_avoids_spilling_when_free_run_exists(self, scheme_name):
+        """With plenty of free windows, a windowless dispatch must not
+        evict anyone."""
+        cpu, scheme, (t1, t2, t3) = _build_three_threads(
+            scheme_name, 16, FreeSearchAllocation())
+        dispatch(cpu, scheme, None, t1)
+        call_to_depth(cpu, t1, 3)
+        spilled_before = cpu.counters.windows_spilled
+        dispatch(cpu, scheme, t1, t2)
+        call_to_depth(cpu, t2, 2)
+        dispatch(cpu, scheme, t2, t3)
+        assert cpu.counters.windows_spilled == spilled_before
+        verify(cpu, scheme)
+
+    def test_falls_back_to_simple_when_full(self, scheme_name):
+        cpu, scheme, (t1, t2, t3) = _build_three_threads(
+            scheme_name, 5, FreeSearchAllocation())
+        dispatch(cpu, scheme, None, t1)
+        call_to_depth(cpu, t1, 8)  # t1 owns all frame windows
+        dispatch(cpu, scheme, t1, t2)
+        assert t2.has_windows  # allocation still succeeded, via spills
+        verify(cpu, scheme)
+
+
+@pytest.mark.parametrize("scheme_name", ["SNP", "SP"])
+class TestLRUBottom:
+    def test_evicts_least_recently_dispatched(self, scheme_name):
+        cpu, scheme, (t1, t2, t3) = _build_three_threads(
+            scheme_name, 8, LRUBottomAllocation())
+        dispatch(cpu, scheme, None, t1)
+        call_to_depth(cpu, t1, 3)
+        dispatch(cpu, scheme, t1, t2)
+        call_to_depth(cpu, t2, 3)
+        # File is now crowded; t3 must evict from t1 (the LRU), not t2.
+        t2_store_before = len(t2.store)
+        dispatch(cpu, scheme, t2, t3)
+        assert len(t2.store) == t2_store_before
+        verify(cpu, scheme)
+
+
+class TestSimpleDefault:
+    def test_simple_is_the_default(self):
+        cpu, scheme = make_machine(6, "SNP")
+        assert isinstance(scheme.allocation, SimpleAllocation)
+
+    def test_policy_names(self):
+        assert SimpleAllocation().name == "simple"
+        assert FreeSearchAllocation().name == "free-search"
+        assert LRUBottomAllocation().name == "lru-bottom"

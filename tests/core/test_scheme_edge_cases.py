@@ -1,0 +1,135 @@
+"""Edge-case geometry: tiny files, saturation, retire-under-pressure,
+and the free-run grant machinery."""
+
+import pytest
+
+from repro.windows.errors import WindowGeometryError
+from tests.helpers import (
+    call,
+    call_to_depth,
+    dispatch,
+    make_machine,
+    new_thread,
+    ret,
+    ret_to_depth,
+    verify,
+)
+
+
+class TestTinyFiles:
+    def test_snp_minimum_three_windows(self):
+        cpu, scheme = make_machine(3, "SNP")
+        tw = new_thread(scheme, 0)
+        dispatch(cpu, scheme, None, tw)
+        call_to_depth(cpu, tw, 10)
+        ret_to_depth(cpu, tw, 1)
+        assert tw.depth == 1
+        verify(cpu, scheme)
+
+    def test_sp_rejects_three_windows(self):
+        with pytest.raises(WindowGeometryError):
+            make_machine(3, "SP")
+
+    def test_sp_minimum_four_windows_two_threads(self):
+        cpu, scheme = make_machine(4, "SP")
+        t1 = new_thread(scheme, 0)
+        t2 = new_thread(scheme, 1)
+        dispatch(cpu, scheme, None, t1)
+        call_to_depth(cpu, t1, 4)
+        dispatch(cpu, scheme, t1, t2)
+        call_to_depth(cpu, t2, 4)
+        dispatch(cpu, scheme, t2, t1)
+        ret_to_depth(cpu, t1, 1)
+        dispatch(cpu, scheme, t1, t2)
+        ret_to_depth(cpu, t2, 1)
+        verify(cpu, scheme)
+
+    def test_ns_three_windows_deep(self):
+        cpu, scheme = make_machine(3, "NS")
+        tw = new_thread(scheme, 0)
+        dispatch(cpu, scheme, None, tw)
+        call_to_depth(cpu, tw, 25)
+        ret_to_depth(cpu, tw, 1)
+        assert tw.depth == 1
+        verify(cpu, scheme)
+
+
+class TestManyThreads:
+    @pytest.mark.parametrize("scheme_name", ["SNP", "SP"])
+    def test_more_threads_than_windows(self, scheme_name):
+        """8 threads on a 5-window file: constant eviction, no
+        corruption (helpers verify all register traffic)."""
+        cpu, scheme = make_machine(5, scheme_name)
+        threads = [new_thread(scheme, i) for i in range(8)]
+        current = None
+        for round_no in range(4):
+            for thread in threads:
+                dispatch(cpu, scheme, current, thread)
+                current = thread
+                call(cpu, thread)
+                if thread.depth > 2:
+                    ret(cpu, thread)
+                verify(cpu, scheme)
+        for thread in threads:
+            if thread is not current:
+                dispatch(cpu, scheme, current, thread)
+                current = thread
+            ret_to_depth(cpu, thread, 1)
+        verify(cpu, scheme)
+
+
+class TestRetireUnderPressure:
+    @pytest.mark.parametrize("scheme_name", ["NS", "SNP", "SP"])
+    def test_retire_all_then_reuse(self, scheme_name):
+        cpu, scheme = make_machine(6, scheme_name)
+        threads = [new_thread(scheme, i) for i in range(3)]
+        current = None
+        for thread in threads:
+            dispatch(cpu, scheme, current, thread)
+            current = thread
+            call_to_depth(cpu, thread, 3)
+        for thread in threads:
+            scheme.retire(thread)
+        assert cpu.map.free_count() >= 5
+        late = new_thread(scheme, 99)
+        scheme.context_switch(None, late)
+        call_to_depth(cpu, late, 8)
+        ret_to_depth(cpu, late, 1)
+        verify(cpu, scheme)
+
+
+class TestGrantMachinery:
+    @pytest.mark.parametrize("scheme_name", ["SNP", "SP"])
+    def test_regrowth_after_dispatch_is_trap_free(self, scheme_name):
+        """The granted headroom lets a resumed thread re-descend a few
+        frames without any traps (the Figure 13 fix)."""
+        cpu, scheme = make_machine(12, scheme_name)
+        t1 = new_thread(scheme, 0)
+        t2 = new_thread(scheme, 1)
+        # t2 takes residence first, so switching back to it never
+        # allocates into t1's vacated space.
+        dispatch(cpu, scheme, None, t2)
+        call_to_depth(cpu, t2, 2)
+        dispatch(cpu, scheme, t2, t1)
+        call_to_depth(cpu, t1, 5)
+        ret_to_depth(cpu, t1, 2)      # vacate three windows above
+        dispatch(cpu, scheme, t1, t2)
+        dispatch(cpu, scheme, t2, t1)
+        traps_before = cpu.counters.overflow_traps
+        call_to_depth(cpu, t1, 5)     # re-descend into the granted run
+        assert cpu.counters.overflow_traps == traps_before
+        verify(cpu, scheme)
+
+    @pytest.mark.parametrize("scheme_name", ["SNP", "SP"])
+    def test_grant_is_capped(self, scheme_name):
+        """Headroom beyond grant_headroom still traps (cheaply)."""
+        cpu, scheme = make_machine(16, scheme_name)
+        tw = new_thread(scheme, 0)
+        dispatch(cpu, scheme, None, tw)
+        cap = scheme.grant_headroom
+        traps_before = cpu.counters.overflow_traps
+        call_to_depth(cpu, tw, 1 + cap)   # within the grant
+        assert cpu.counters.overflow_traps == traps_before
+        call(cpu, tw)                      # one beyond: boundary trap
+        assert cpu.counters.overflow_traps == traps_before + 1
+        verify(cpu, scheme)

@@ -1,0 +1,90 @@
+"""The working-set scheduling policy (§4.6)."""
+
+from repro import Call, CloseStream, Kernel, Read, Tick, Write
+from repro.core.working_set import BACK, FIFOPolicy, FRONT, WorkingSetPolicy
+from repro.windows.thread_windows import ThreadWindows
+
+
+class TestPolicyUnit:
+    def test_fifo_always_back(self):
+        policy = FIFOPolicy()
+        tw = ThreadWindows(0)
+        assert policy.enqueue_position(tw) == BACK
+        tw.cwp = tw.bottom = 2
+        tw.resident = 1
+        assert policy.enqueue_position(tw) == BACK
+
+    def test_working_set_front_iff_windows_resident(self):
+        policy = WorkingSetPolicy()
+        tw = ThreadWindows(0)
+        assert policy.enqueue_position(tw) == BACK
+        tw.cwp = tw.bottom = 2
+        tw.resident = 1
+        assert policy.enqueue_position(tw) == FRONT
+
+    def test_yield_position_stays_back(self):
+        assert WorkingSetPolicy().yield_position(ThreadWindows(0)) == BACK
+
+
+def _pipeline(policy, n_windows=6):
+    """Three-stage pipeline with byte-sized buffers: plenty of wakeups."""
+    k = Kernel(n_windows=n_windows, scheme="SP", queue_policy=policy)
+    s1 = k.stream(1, "s1")
+    s2 = k.stream(1, "s2")
+
+    def source(s):
+        for i in range(120):
+            yield Write(s, bytes([i % 256]))
+        yield CloseStream(s)
+        return None
+
+    def middle(a, b):
+        while True:
+            data = yield Read(a, 8)
+            if not data:
+                yield CloseStream(b)
+                return None
+            yield Call(_relay, b, data)
+
+    def _relay(b, data):
+        yield Tick(2)
+        yield Write(b, data)
+        return None
+
+    def sink(s):
+        total = 0
+        while True:
+            data = yield Read(s, 8)
+            if not data:
+                return total
+            total += sum(data)
+
+    k.spawn(source, s1, name="src")
+    k.spawn(middle, s1, s2, name="mid")
+    k.spawn(sink, s2, name="snk")
+    return k
+
+
+class TestPolicyIntegration:
+    def test_same_results_either_policy(self):
+        expected = sum(i % 256 for i in range(120))
+        for policy in (FIFOPolicy(), WorkingSetPolicy()):
+            result = _pipeline(policy).run()
+            assert result.result_of("snk") == expected
+
+    def test_working_set_reduces_transfers_when_windows_scarce(self):
+        """With few windows the working-set queue keeps resident
+        threads running, cutting window traffic (Figure 15)."""
+        fifo = _pipeline(FIFOPolicy(), n_windows=5).run()
+        wset = _pipeline(WorkingSetPolicy(), n_windows=5).run()
+        fifo_moved = (fifo.counters.windows_spilled
+                      + fifo.counters.windows_restored)
+        wset_moved = (wset.counters.windows_spilled
+                      + wset.counters.windows_restored)
+        assert wset_moved <= fifo_moved
+
+    def test_no_penalty_with_plentiful_windows(self):
+        fifo = _pipeline(FIFOPolicy(), n_windows=16).run()
+        wset = _pipeline(WorkingSetPolicy(), n_windows=16).run()
+        assert (wset.counters.total_cycles
+                <= fifo.counters.total_cycles * 1.05)

@@ -1,0 +1,31 @@
+"""The ``python -m repro.experiments`` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_table2_target(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "145 - 149" in out
+
+
+def test_figure_target_with_tiny_sweep(capsys):
+    assert main(["fig13", "--scale", "0.02", "--windows", "4,8"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 13" in out
+    assert "computed in" in out
+
+
+def test_table1_target(capsys):
+    assert main(["table1", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "T6.dict1" in out
+    assert "paper" in out
+
+
+def test_unknown_target_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig99"])

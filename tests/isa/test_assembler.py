@@ -1,0 +1,100 @@
+"""Assembler unit tests."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.instructions import Operand
+from repro.isa.registers import RegisterError, parse_register
+
+
+class TestRegisters:
+    def test_banks(self):
+        assert parse_register("%g0") == ("g", 0)
+        assert parse_register("%o3") == ("o", 3)
+        assert parse_register("%l7") == ("l", 7)
+        assert parse_register("%i1") == ("i", 1)
+
+    def test_synonyms(self):
+        assert parse_register("%sp") == ("o", 6)
+        assert parse_register("%fp") == ("i", 6)
+
+    @pytest.mark.parametrize("bad", ["%x0", "g0", "%g8", "%gg", "%g"])
+    def test_bad_names(self, bad):
+        with pytest.raises(RegisterError):
+            parse_register(bad)
+
+
+class TestAssemble:
+    def test_labels_resolved_to_indices(self):
+        program = assemble("""
+        start:  mov 1, %o0
+                ba end
+                nop
+        end:    halt
+        """)
+        assert program.entry("start") == 0
+        assert program.entry("end") == 3
+        assert program.instructions[1].label == 3
+
+    def test_alu_operands(self):
+        program = assemble("add %i0, -5, %o2")
+        instr = program.instructions[0]
+        assert instr.op == "add"
+        assert instr.operands[0].kind == Operand.REG
+        assert instr.operands[1].value == -5
+        assert (instr.operands[2].bank, instr.operands[2].index) == ("o", 2)
+
+    def test_memory_operands(self):
+        program = assemble("ld [%g1 + 8], %o0\nst %o0, [%g1 - 4]")
+        ld, st = program.instructions
+        assert ld.operands[0].kind == Operand.MEM
+        assert ld.operands[0].offset == 8
+        assert st.operands[1].offset == -4
+
+    def test_bare_memory_operand(self):
+        program = assemble("ld [%l2], %o0")
+        operand = program.instructions[0].operands[0]
+        assert operand.offset == 0
+        assert (operand.bank, operand.index) == ("l", 2)
+
+    def test_comments_stripped(self):
+        program = assemble("mov 1, %o0 ; comment\nnop ! also comment")
+        assert len(program) == 2
+
+    def test_hex_immediates(self):
+        program = assemble("mov 0x10, %o0")
+        assert program.instructions[0].operands[0].value == 16
+
+    def test_label_on_same_line(self):
+        program = assemble("here: nop")
+        assert program.entry("here") == 0
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate %o0")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("ba nowhere")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a: nop\na: nop")
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("add %o0, %o1")
+
+    def test_st_operand_order_enforced(self):
+        with pytest.raises(AssemblyError):
+            assemble("st [%g1], %o0")
+
+    def test_restore_zero_or_three_operands(self):
+        assert len(assemble("restore")) == 1
+        assert len(assemble("restore %l0, %g0, %o0")) == 1
+        with pytest.raises(AssemblyError):
+            assemble("restore %l0, %g0")
+
+    def test_missing_entry_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("nop").entry("start")

@@ -1,0 +1,100 @@
+"""The §5 behaviour tracker and its aggregate measures."""
+
+from repro import Call, CloseStream, Kernel, Read, Tick, Write
+from repro.metrics.behavior import BehaviorTracker, Quantum
+
+
+class TestQuantum:
+    def test_windows_used(self):
+        q = Quantum(0, 0, 100, min_depth=2, max_depth=5)
+        assert q.windows_used == 4
+        assert q.run_length == 100
+
+
+class TestTrackerDirect:
+    def test_quanta_recorded(self):
+        t = BehaviorTracker()
+        t.on_dispatch(0, 1, 0)
+        t.on_depth(2)
+        t.on_depth(3)
+        t.on_depth(2)
+        t.on_dispatch(1, 1, 50)
+        t.on_depth(2)
+        t.finish(80)
+        assert len(t.quanta) == 2
+        assert t.quanta[0].windows_used == 3
+        assert t.quanta[0].run_length == 50
+        assert t.quanta[1].windows_used == 2
+
+    def test_window_activity_per_thread(self):
+        t = BehaviorTracker()
+        t.on_dispatch(7, 1, 0)
+        t.on_depth(4)
+        t.finish(10)
+        assert t.window_activity_per_thread() == {7: 4.0}
+
+    def test_concurrency_periods(self):
+        t = BehaviorTracker()
+        for i in range(6):
+            t.on_dispatch(i % 2, 1, i * 10)
+        t.finish(100)
+        assert t.concurrency(period=4) == [2, 2]
+
+    def test_total_window_activity_counts_slots_once(self):
+        t = BehaviorTracker()
+        t.on_dispatch(0, 1, 0)
+        t.on_depth(3)          # slots (0,1..3)
+        t.on_dispatch(0, 3, 10)
+        t.on_depth(1)          # same slots again
+        t.finish(20)
+        assert t.total_window_activity(period=10) == [3]
+
+    def test_empty_tracker_safe(self):
+        t = BehaviorTracker()
+        assert t.mean_window_activity() == 0.0
+        assert t.mean_concurrency() == 0.0
+        assert t.granularity() == 0.0
+
+
+class TestTrackerInKernel:
+    def _run(self, buffer_size):
+        kernel = Kernel(n_windows=16, scheme="SP")
+        kernel.tracker = BehaviorTracker()
+        stream = kernel.stream(buffer_size, "s")
+
+        def producer(s):
+            for __ in range(64):
+                yield Call(self_tick)
+                yield Write(s, b"ab")
+            yield CloseStream(s)
+            return None
+
+        def self_tick():
+            yield Tick(10)
+            return None
+
+        def consumer(s):
+            while True:
+                data = yield Read(s, 16)
+                if not data:
+                    return None
+                yield Call(self_tick)
+
+        kernel.spawn(producer, stream, name="p")
+        kernel.spawn(consumer, stream, name="c")
+        kernel.run(max_steps=200_000)
+        return kernel.tracker
+
+    def test_finer_buffers_mean_finer_granularity(self):
+        fine = self._run(buffer_size=1)
+        coarse = self._run(buffer_size=32)
+        assert fine.granularity() < coarse.granularity()
+        assert len(fine.quanta) > len(coarse.quanta)
+
+    def test_concurrency_measured(self):
+        tracker = self._run(buffer_size=2)
+        assert 1.0 < tracker.mean_concurrency(period=16) <= 2.0
+
+    def test_total_window_activity_positive(self):
+        tracker = self._run(buffer_size=2)
+        assert tracker.mean_total_window_activity(period=16) >= 2

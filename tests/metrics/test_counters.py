@@ -1,0 +1,74 @@
+"""Counter bookkeeping."""
+
+import pytest
+
+from repro.metrics.counters import Counters
+
+
+class TestCounters:
+    def test_trap_probability(self):
+        c = Counters()
+        for __ in range(8):
+            c.record_save(0)
+        for __ in range(2):
+            c.record_restore(0)
+        c.record_trap("overflow", 0, 50, spilled=True)
+        c.record_trap("underflow", 0, 40, restored=True)
+        assert c.trap_probability == pytest.approx(2 / 10)
+        assert c.window_traps == 2
+        assert c.windows_spilled == 1
+        assert c.windows_restored == 1
+
+    def test_trap_probability_empty(self):
+        assert Counters().trap_probability == 0.0
+
+    def test_avg_switch_cycles(self):
+        c = Counters()
+        c.record_switch(None, 1, 0, 0, 100)
+        c.record_switch(1, 2, 1, 1, 200)
+        assert c.avg_switch_cycles == 150.0
+        assert c.context_switches == 2
+        assert c.transfer_histogram() == {(0, 0): 1, (1, 1): 1}
+
+    def test_avg_switch_cycles_empty(self):
+        assert Counters().avg_switch_cycles == 0.0
+
+    def test_unknown_trap_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().record_trap("sideways", 0, 1)
+
+    def test_cycle_categories_sum(self):
+        c = Counters()
+        c.record_compute(10)
+        c.record_call_cycles(5)
+        c.record_trap("overflow", 0, 30)
+        c.record_switch(None, 0, 0, 0, 55)
+        assert c.total_cycles == 100
+
+    def test_per_thread_counters(self):
+        c = Counters()
+        c.record_save(3)
+        c.record_save(3)
+        c.record_save(5)
+        c.record_switch(None, 3, 0, 0, 10)
+        assert c.per_thread_saves == {3: 2, 5: 1}
+        assert c.per_thread_switches == {3: 1}
+
+    def test_trace_kept_only_when_asked(self):
+        c = Counters()
+        c.record_switch(None, 0, 0, 0, 10)
+        c.record_trap("overflow", 0, 30)
+        assert c.switch_trace == [] and c.trap_trace == []
+        c.keep_trace = True
+        c.record_switch(0, 1, 1, 0, 20)
+        c.record_trap("underflow", 1, 40, restored=True)
+        assert len(c.switch_trace) == 1
+        assert c.switch_trace[0].in_tid == 1
+        assert len(c.trap_trace) == 1
+        assert c.trap_trace[0].restored
+
+    def test_snapshot_keys(self):
+        snap = Counters().snapshot()
+        assert snap["total_cycles"] == 0
+        assert set(snap) >= {"saves", "restores", "overflow_traps",
+                             "underflow_traps", "context_switches"}

@@ -1,0 +1,44 @@
+"""Text tables and ASCII charts."""
+
+from repro.metrics.reporting import ascii_chart, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1], ["b", 22222]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # rectangular
+        assert "alpha" in lines[2]
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456], [12345.6], [0]])
+        assert "0.123" in text
+        assert "12346" in text
+
+
+class TestAsciiChart:
+    def test_plots_all_series(self):
+        chart = ascii_chart({
+            "one": [(4, 10.0), (8, 5.0)],
+            "two": [(4, 12.0), (8, 6.0)],
+        }, width=32, height=8, title="T")
+        assert "T" in chart
+        assert "o" in chart and "x" in chart
+        assert "one" in chart and "two" in chart
+
+    def test_empty_series(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def test_single_point(self):
+        chart = ascii_chart({"s": [(4, 1.0)]}, width=16, height=4)
+        assert "o" in chart
+
+    def test_flat_series(self):
+        chart = ascii_chart({"s": [(1, 5.0), (2, 5.0)]}, width=16,
+                            height=4)
+        assert "o" in chart

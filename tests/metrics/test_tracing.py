@@ -1,0 +1,93 @@
+"""Occupancy timelines: sampling, analysis and rendering."""
+
+import pytest
+
+from repro import Call, CloseStream, Kernel, Read, Tick, Write
+from repro.metrics.tracing import OccupancyTimeline
+
+
+def _run(scheme, n_windows=8, items=40, max_samples=4096):
+    kernel = Kernel(n_windows=n_windows, scheme=scheme)
+    kernel.timeline = OccupancyTimeline(max_samples=max_samples)
+    stream = kernel.stream(2, "s")
+
+    def producer(s):
+        for i in range(items):
+            yield Call(_leaf, i)
+            yield Write(s, bytes([i % 251]))
+        yield CloseStream(s)
+        return None
+
+    def _leaf(i):
+        yield Tick(2)
+        return i
+
+    def consumer(s):
+        total = 0
+        while True:
+            data = yield Read(s, 4)
+            if not data:
+                return total
+            total += sum(data)
+            yield Call(_leaf, len(data))
+
+    kernel.spawn(producer, stream, name="p")
+    kernel.spawn(consumer, stream, name="c")
+    kernel.run()
+    return kernel.timeline
+
+
+class TestSampling:
+    def test_samples_taken_per_dispatch(self):
+        timeline = _run("SP")
+        assert len(timeline.samples) > 10
+        assert timeline.n_windows == 8
+        for sample in timeline.samples:
+            assert len(sample.cells) == 8
+
+    def test_max_samples_respected(self):
+        timeline = _run("SP", max_samples=5)
+        assert len(timeline.samples) == 5
+        assert "dropped" in timeline.render()
+
+
+class TestAnalysis:
+    def test_sharing_keeps_more_frames_resident(self):
+        """The visual signature of sharing: suspended threads' frames
+        stay in the file, so mean live-frame occupancy is higher than
+        under NS (which wipes the file at every switch)."""
+        ns = _run("NS")
+        sp = _run("SP")
+        assert sp.occupancy_ratio() > ns.occupancy_ratio()
+
+    def test_occupancy_ratio_bounds(self):
+        timeline = _run("SNP")
+        assert 0.0 < timeline.occupancy_ratio() < 1.0
+
+    def test_windows_shared_by_multiple_threads_over_time(self):
+        timeline = _run("SNP", n_windows=5)
+        assert any(timeline.distinct_owners(w) >= 2
+                   for w in range(5))
+
+    def test_empty_timeline_safe(self):
+        timeline = OccupancyTimeline()
+        assert timeline.occupancy_ratio() == 0.0
+        assert timeline.churn() == 0.0
+        assert timeline.render() == "(no samples)"
+
+
+class TestRendering:
+    def test_render_shape(self):
+        timeline = _run("SP", n_windows=6)
+        text = timeline.render(max_columns=20)
+        lines = text.splitlines()
+        assert lines[0].startswith("W0 ")
+        assert lines[5].startswith("W5 ")
+        body = lines[0][4:]
+        assert len(body) <= 20
+
+    def test_render_contains_thread_glyphs(self):
+        timeline = _run("SP")
+        text = timeline.render()
+        assert "0" in text or "1" in text
+        assert "." in text

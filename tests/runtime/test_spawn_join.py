@@ -1,0 +1,145 @@
+"""Dynamic thread creation (Spawn) and completion waiting (Join)."""
+
+import pytest
+
+from repro import Call, Join, Kernel, Spawn, Tick
+from repro.runtime.errors import DeadlockError, RuntimeFault
+
+
+def worker(n):
+    yield Tick(n)
+    return n * n
+
+
+def test_spawn_and_join():
+    def parent():
+        child = yield Spawn(worker, 7, name="child")
+        result = yield Join(child)
+        return result
+
+    k = Kernel(n_windows=8, scheme="SP")
+    k.spawn(parent, name="parent")
+    result = k.run()
+    assert result.result_of("parent") == 49
+    assert result.result_of("child") == 49
+
+
+def test_join_already_finished_thread():
+    def parent():
+        child = yield Spawn(worker, 3, name="child")
+        yield Tick(1)
+        # let the child run to completion first
+        for __ in range(3):
+            from repro.runtime.ops import YieldCPU
+            yield YieldCPU()
+        result = yield Join(child)
+        return result
+
+    k = Kernel(n_windows=8, scheme="SNP")
+    k.spawn(parent, name="parent")
+    assert k.run().result_of("parent") == 9
+
+
+def test_fan_out_fan_in():
+    def parent(n):
+        children = []
+        for i in range(n):
+            children.append((yield Spawn(worker, i, name="w%d" % i)))
+        total = 0
+        for child in children:
+            total += yield Join(child)
+        return total
+
+    for scheme in ("NS", "SNP", "SP"):
+        k = Kernel(n_windows=6, scheme=scheme)
+        k.spawn(parent, 6, name="parent")
+        result = k.run(max_steps=200_000)
+        assert result.result_of("parent") == sum(i * i for i in range(6))
+
+
+def test_nested_spawns():
+    def grandchild():
+        yield Tick(1)
+        return "leaf"
+
+    def child():
+        g = yield Spawn(grandchild, name="g")
+        value = yield Join(g)
+        return "child:" + value
+
+    def root():
+        c = yield Spawn(child, name="c")
+        return (yield Join(c))
+
+    k = Kernel(n_windows=8, scheme="SP")
+    k.spawn(root, name="root")
+    assert k.run().result_of("root") == "child:leaf"
+
+
+def test_spawned_thread_does_procedure_calls():
+    def deep(n):
+        yield Tick(1)
+        if n == 0:
+            return 0
+        return (yield Call(deep, n - 1)) + 1
+
+    def spawned():
+        return (yield Call(deep, 15))
+
+    def root():
+        t = yield Spawn(spawned, name="s")
+        return (yield Join(t))
+
+    k = Kernel(n_windows=5, scheme="SNP")
+    k.spawn(root, name="root")
+    result = k.run(max_steps=100_000)
+    assert result.result_of("root") == 15
+    assert result.counters.overflow_traps > 0
+
+
+def test_join_self_rejected():
+    captured = {}
+
+    def selfish():
+        captured["me"] = me = k.threads[0]
+        yield Join(me)
+
+    k = Kernel(n_windows=6, scheme="SP")
+    k.spawn(selfish, name="selfish")
+    with pytest.raises(RuntimeFault):
+        k.run()
+
+
+def test_join_deadlock_cycle_detected():
+    def a_thread():
+        yield Tick(1)
+        return (yield Join(threads["b"]))
+
+    def b_thread():
+        yield Tick(1)
+        return (yield Join(threads["a"]))
+
+    k = Kernel(n_windows=6, scheme="SP")
+    threads = {
+        "a": k.spawn(a_thread, name="a"),
+        "b": k.spawn(b_thread, name="b"),
+    }
+    with pytest.raises(DeadlockError):
+        k.run()
+
+
+def test_multiple_joiners_all_wake():
+    def waiter(target):
+        return (yield Join(target))
+
+    def slow():
+        yield Tick(100)
+        return "done"
+
+    k = Kernel(n_windows=10, scheme="SP")
+    target = k.spawn(slow, name="slow")
+    k.spawn(waiter, target, name="w1")
+    k.spawn(waiter, target, name="w2")
+    result = k.run()
+    assert result.result_of("w1") == "done"
+    assert result.result_of("w2") == "done"

@@ -1,0 +1,86 @@
+"""Unit tests for the bounded FIFO streams."""
+
+import pytest
+
+from repro.runtime.streams import Stream, StreamClosedError
+
+
+class TestCapacity:
+    def test_push_respects_capacity(self):
+        s = Stream(4)
+        assert s.push(b"abcdef") == 4
+        assert s.is_full
+        assert s.push(b"x") == 0
+
+    def test_pull_respects_available(self):
+        s = Stream(4)
+        s.push(b"ab")
+        assert s.pull(10) == b"ab"
+        assert s.pull(10) == b""
+
+    def test_fifo_order(self):
+        s = Stream(8)
+        s.push(b"abc")
+        s.push(b"def")
+        assert s.pull(2) == b"ab"
+        assert s.pull(10) == b"cdef"
+
+    def test_space_tracking(self):
+        s = Stream(5)
+        s.push(b"abc")
+        assert s.space == 2
+        s.pull(1)
+        assert s.space == 3
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Stream(0)
+
+    def test_byte_counters(self):
+        s = Stream(4)
+        s.push(b"abcd")
+        s.pull(2)
+        s.push(b"ef")
+        assert s.bytes_written == 6
+        assert s.bytes_read == 2
+
+
+class TestClose:
+    def test_write_after_close_raises(self):
+        s = Stream(4)
+        s.close()
+        with pytest.raises(StreamClosedError):
+            s.push(b"a")
+
+    def test_eof_only_when_closed_and_empty(self):
+        s = Stream(4)
+        s.push(b"a")
+        s.close()
+        assert not s.at_eof
+        s.pull(1)
+        assert s.at_eof
+
+
+class TestLines:
+    def test_pull_line_complete(self):
+        s = Stream(16)
+        s.push(b"hello\nworld\n")
+        assert s.pull_line() == b"hello\n"
+        assert s.pull_line() == b"world\n"
+        assert s.pull_line() is None
+
+    def test_pull_line_partial_waits(self):
+        s = Stream(16)
+        s.push(b"hel")
+        assert s.pull_line() is None
+        assert not s.has_line()
+        s.push(b"lo\n")
+        assert s.has_line()
+        assert s.pull_line() == b"hello\n"
+
+    def test_residue_counts_as_line_at_eof(self):
+        s = Stream(16)
+        s.push(b"tail")
+        s.close()
+        assert s.has_line()
+        assert s.pull_line() == b"tail"

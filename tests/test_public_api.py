@@ -1,0 +1,82 @@
+"""The documented public API surface must exist and stay importable."""
+
+import inspect
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_schemes_registry(self):
+        assert set(repro.SCHEMES) == {"NS", "SNP", "SP"}
+
+    def test_kernel_signature_stable(self):
+        params = inspect.signature(repro.Kernel).parameters
+        for expected in ("n_windows", "scheme", "queue_policy",
+                         "cost_model", "allocation",
+                         "verify_registers", "scheme_kwargs"):
+            assert expected in params
+
+    def test_ops_are_exported(self):
+        for op in ("Call", "Tick", "Read", "ReadLine", "Write",
+                   "CloseStream", "YieldCPU", "FlushHint", "Spawn",
+                   "Join"):
+            assert hasattr(repro, op)
+
+    def test_readme_quickstart_runs(self):
+        """The snippet in the package docstring must actually work."""
+        from repro import Call, Kernel, Tick
+
+        def leaf(n):
+            yield Tick(5)
+            return n * n
+
+        def root():
+            total = 0
+            for i in range(4):
+                total += yield Call(leaf, i)
+            return total
+
+        kernel = Kernel(n_windows=8, scheme="SP")
+        kernel.spawn(root, name="main")
+        result = kernel.run()
+        assert result.result_of("main") == 14
+        assert result.total_cycles > 0
+
+
+class TestSubpackageImports:
+    def test_experiments(self):
+        from repro.experiments import (
+            run_fig11, run_fig15, run_table1, run_table2, run_point)
+        assert callable(run_fig11) and callable(run_point)
+        assert callable(run_fig15) and callable(run_table1)
+        assert callable(run_table2)
+
+    def test_apps(self):
+        from repro.apps.spellcheck import (
+            BUFFER_CONFIGS, SpellConfig, build_spellchecker,
+            run_spellchecker)
+        assert len(BUFFER_CONFIGS) == 6
+        assert SpellConfig.named("high", "fine").m == 1
+
+    def test_isa(self):
+        from repro.isa import Machine, assemble
+        machine = Machine(assemble("start: mov 1, %o0\n halt"))
+        thread = machine.add_thread("start")
+        machine.run()
+        assert thread.exit_value == 1
+
+    def test_metrics(self):
+        from repro.metrics.behavior import BehaviorTracker
+        from repro.metrics.tracing import OccupancyTimeline
+        assert BehaviorTracker() and OccupancyTimeline()
+
+    def test_diagrams(self):
+        from repro.windows.diagrams import reenact_figure8
+        assert reenact_figure8("SP").facts["cwp_did_not_move"]

@@ -1,0 +1,93 @@
+"""End-to-end smoke tests: deep recursion and producer/consumer under
+every scheme and several window counts, with full register verification
+and invariant checks."""
+
+import pytest
+
+from repro import Call, CloseStream, Kernel, Read, Tick, Write
+from repro.core.invariants import check_invariants
+
+
+def fib(n):
+    if n < 2:
+        yield Tick(1)
+        return n
+    a = yield Call(fib, n - 1)
+    b = yield Call(fib, n - 2)
+    return a + b
+
+
+@pytest.mark.parametrize("scheme", ["NS", "SNP", "SP"])
+@pytest.mark.parametrize("n_windows", [4, 5, 7, 8, 16])
+def test_single_thread_deep_recursion(scheme, n_windows):
+    kernel = Kernel(n_windows=n_windows, scheme=scheme)
+    kernel.spawn(fib, 12, name="fib")
+    result = kernel.run(max_steps=2_000_000)
+    assert result.result_of("fib") == 144
+    check_invariants(kernel.cpu, kernel.scheme,
+                     [t.windows for t in kernel.threads])
+
+
+def producer(stream, count):
+    for i in range(count):
+        yield Write(stream, bytes([i % 251]))
+    yield CloseStream(stream)
+    return count
+
+
+def consumer(stream):
+    total = 0
+    while True:
+        data = yield Read(stream, 64)
+        if not data:
+            return total
+        total += sum(data)
+
+
+@pytest.mark.parametrize("scheme", ["NS", "SNP", "SP"])
+@pytest.mark.parametrize("n_windows", [4, 6, 8])
+def test_producer_consumer(scheme, n_windows):
+    kernel = Kernel(n_windows=n_windows, scheme=scheme)
+    stream = kernel.stream(4, "s")
+    kernel.spawn(producer, stream, 100, name="prod")
+    kernel.spawn(consumer, stream, name="cons")
+    result = kernel.run(max_steps=1_000_000)
+    expected = sum(i % 251 for i in range(100))
+    assert result.result_of("cons") == expected
+    assert result.counters.context_switches > 10
+
+
+@pytest.mark.parametrize("scheme", ["NS", "SNP", "SP"])
+def test_nested_calls_across_blocking(scheme):
+    """Return values must survive context switches mid-call-chain."""
+
+    def leaf(stream, i):
+        yield Write(stream, b"x")
+        return i * 3
+
+    def mid(stream, i):
+        v = yield Call(leaf, stream, i)
+        return v + 1
+
+    def chain(stream):
+        total = 0
+        for i in range(20):
+            total += yield Call(mid, stream, i)
+        yield CloseStream(stream)
+        return total
+
+    def drain(stream):
+        n = 0
+        while True:
+            data = yield Read(stream, 8)
+            if not data:
+                return n
+            n += len(data)
+
+    kernel = Kernel(n_windows=5, scheme=scheme)
+    stream = kernel.stream(2, "s")
+    kernel.spawn(chain, stream, name="chain")
+    kernel.spawn(drain, stream, name="drain")
+    result = kernel.run(max_steps=1_000_000)
+    assert result.result_of("chain") == sum(i * 3 + 1 for i in range(20))
+    assert result.result_of("drain") == 20

@@ -1,0 +1,59 @@
+"""Unit tests for the per-thread backing store."""
+
+import pytest
+
+from repro.windows.backing_store import BackingStore, Frame
+from repro.windows.errors import WindowIntegrityError
+
+
+def frame(depth):
+    return Frame([depth] * 8, [depth * 10] * 8, depth)
+
+
+class TestBackingStore:
+    def test_push_pop_lifo(self):
+        store = BackingStore()
+        store.push(frame(1))
+        store.push(frame(2))
+        assert store.pop().depth == 2
+        assert store.pop().depth == 1
+
+    def test_len_and_bool(self):
+        store = BackingStore()
+        assert not store
+        assert len(store) == 0
+        store.push(frame(1))
+        assert store
+        assert len(store) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(WindowIntegrityError):
+            BackingStore().pop()
+
+    def test_peek(self):
+        store = BackingStore()
+        store.push(frame(1))
+        assert store.peek().depth == 1
+        assert len(store) == 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(WindowIntegrityError):
+            BackingStore().peek()
+
+    def test_non_contiguous_spill_rejected(self):
+        store = BackingStore()
+        store.push(frame(1))
+        with pytest.raises(WindowIntegrityError):
+            store.push(frame(3))
+
+    def test_contiguous_spill_accepted(self):
+        store = BackingStore()
+        for d in range(1, 6):
+            store.push(frame(d))
+        assert len(store) == 5
+
+    def test_unknown_depth_frames_skip_check(self):
+        store = BackingStore()
+        store.push(Frame([0] * 8, [0] * 8, -1))
+        store.push(Frame([1] * 8, [1] * 8, -1))
+        assert len(store) == 2

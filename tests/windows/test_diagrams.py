@@ -1,0 +1,78 @@
+"""The reenacted paper figures must exhibit exactly the facts their
+captions state."""
+
+import pytest
+
+from repro.windows.diagrams import (
+    reenact_all,
+    reenact_figure3,
+    reenact_figure4,
+    reenact_figure8,
+    render_window_file,
+)
+from tests.helpers import call_to_depth, dispatch, make_machine, new_thread
+
+
+class TestFigure3:
+    def test_caption_facts(self):
+        r = reenact_figure3()
+        assert r.facts["reserved_is_old_bottom"]
+        assert r.facts["save_claimed_old_reserved"]
+        assert r.facts["frames_in_memory"] == 1
+        assert r.facts["overflow_traps"] == 1
+
+    def test_renderings_differ(self):
+        r = reenact_figure3()
+        assert r.before != r.after
+        assert "reserved" in r.before
+        assert "CWP" in r.before and "CWP" in r.after
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_any_file_size(self, n):
+        assert reenact_figure3(n).facts["reserved_is_old_bottom"]
+
+
+class TestFigure4:
+    def test_caption_facts(self):
+        r = reenact_figure4()
+        assert r.facts["cwp_moved_below"]
+        assert r.facts["restored_into_old_reserved"]
+        assert r.facts["reserved_moved_down"]
+        assert r.facts["underflow_traps"] == 1
+
+
+class TestFigure8:
+    @pytest.mark.parametrize("scheme", ["SP", "SNP"])
+    def test_caption_facts(self, scheme):
+        r = reenact_figure8(scheme)
+        assert r.facts["cwp_did_not_move"]
+        assert r.facts["return_value_in_outs"]
+        assert r.facts["windows_spilled_by_trap"] == 0
+
+    def test_contrast_with_figure4(self):
+        """The whole point: conventional underflow moves the CWP, the
+        proposed one does not."""
+        conventional = reenact_figure4()
+        inplace = reenact_figure8("SP")
+        assert conventional.facts["cwp_moved_below"]
+        assert inplace.facts["cwp_did_not_move"]
+
+
+class TestRendering:
+    def test_render_marks_everything(self):
+        cpu, scheme = make_machine(6, "SP")
+        t1 = new_thread(scheme, 0)
+        dispatch(cpu, scheme, None, t1)
+        call_to_depth(cpu, t1, 2)
+        text = render_window_file(cpu)
+        assert text.count("W") >= 6
+        assert "CWP" in text
+        assert "PRW of thread 0" in text
+        assert "frame of thread 0" in text
+        assert "(free)" in text
+
+    def test_reenact_all_returns_four(self):
+        items = reenact_all()
+        assert len(items) == 4
+        for item in items:
+            assert str(item)

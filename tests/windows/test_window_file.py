@@ -1,0 +1,159 @@
+"""Unit tests for the physical window file: geometry, overlap, WIM."""
+
+import pytest
+
+from repro.windows.backing_store import Frame
+from repro.windows.errors import WindowGeometryError
+from repro.windows.window_file import MIN_WINDOWS, WindowFile
+
+
+class TestGeometry:
+    def test_above_decrements_cyclically(self):
+        wf = WindowFile(8)
+        assert wf.above(3) == 2
+        assert wf.above(0) == 7
+
+    def test_below_increments_cyclically(self):
+        wf = WindowFile(8)
+        assert wf.below(3) == 4
+        assert wf.below(7) == 0
+
+    def test_above_below_inverse(self):
+        wf = WindowFile(5)
+        for w in range(5):
+            assert wf.below(wf.above(w)) == w
+            assert wf.above(wf.below(w)) == w
+
+    def test_distance_above(self):
+        wf = WindowFile(8)
+        assert wf.distance_above(3, 1) == 2
+        assert wf.distance_above(1, 3) == 6
+        assert wf.distance_above(4, 4) == 0
+
+    def test_windows_from_goes_downward(self):
+        wf = WindowFile(6)
+        assert wf.windows_from(4, 3) == [4, 5, 0]
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(WindowGeometryError):
+            WindowFile(MIN_WINDOWS - 1)
+
+    def test_index_bounds_checked(self):
+        wf = WindowFile(4)
+        with pytest.raises(WindowGeometryError):
+            wf.ins_of(4)
+        with pytest.raises(WindowGeometryError):
+            wf.locals_of(-1)
+
+
+class TestOverlap:
+    """The in/out register overlap is the heart of SPARC windows."""
+
+    def test_outs_are_ins_of_window_above(self):
+        wf = WindowFile(8)
+        wf.cwp = 5
+        wf.write_out(3, 99)
+        assert wf.ins_of(4)[3] == 99
+
+    def test_callee_sees_caller_outs_as_ins(self):
+        wf = WindowFile(8)
+        wf.cwp = 5
+        for i in range(8):
+            wf.write_out(i, 100 + i)
+        wf.cwp = 4  # what a save does
+        for i in range(8):
+            assert wf.read_in(i) == 100 + i
+
+    def test_locals_are_private(self):
+        wf = WindowFile(8)
+        wf.cwp = 5
+        wf.write_local(2, 7)
+        wf.cwp = 4
+        assert wf.read_local(2) == 0
+        wf.cwp = 6
+        assert wf.read_local(2) == 0
+
+    def test_outs_of_matches_write_out(self):
+        wf = WindowFile(6)
+        wf.cwp = 2
+        wf.write_out(0, 11)
+        assert wf.outs_of(2)[0] == 11
+
+    def test_overlap_wraps_cyclically(self):
+        wf = WindowFile(4)
+        wf.cwp = 0
+        wf.write_out(1, 42)
+        assert wf.ins_of(3)[1] == 42
+
+
+class TestGlobals:
+    def test_globals_shared_across_windows(self):
+        wf = WindowFile(8)
+        wf.write_global(3, 5)
+        wf.cwp = 2
+        assert wf.read_global(3) == 5
+
+    def test_g0_hardwired_to_zero(self):
+        wf = WindowFile(8)
+        wf.write_global(0, 123)
+        assert wf.read_global(0) == 0
+
+
+class TestWIM:
+    def test_set_and_query(self):
+        wf = WindowFile(8)
+        wf.set_wim({2, 5})
+        assert wf.is_invalid(2)
+        assert wf.is_invalid(5)
+        assert not wf.is_invalid(3)
+
+    def test_mark_valid_invalid(self):
+        wf = WindowFile(8)
+        wf.mark_invalid(1)
+        assert wf.is_invalid(1)
+        wf.mark_valid(1)
+        assert not wf.is_invalid(1)
+
+    def test_set_wim_checks_range(self):
+        wf = WindowFile(4)
+        with pytest.raises(WindowGeometryError):
+            wf.set_wim({9})
+
+
+class TestFrames:
+    def test_capture_and_load_roundtrip(self):
+        wf = WindowFile(6)
+        wf.cwp = 3
+        for i in range(8):
+            wf.write_in(i, i * 2)
+            wf.write_local(i, i * 3)
+        frame = wf.capture(3, depth=7)
+        wf.clear_window(3)
+        assert wf.read_in(0) == 0
+        wf.load(3, frame)
+        for i in range(8):
+            assert wf.read_in(i) == i * 2
+            assert wf.read_local(i) == i * 3
+        assert frame.depth == 7
+
+    def test_capture_copies_not_aliases(self):
+        wf = WindowFile(6)
+        wf.cwp = 1
+        wf.write_in(0, 10)
+        frame = wf.capture(1)
+        wf.write_in(0, 20)
+        assert frame.ins[0] == 10
+
+    def test_copy_ins_to_outs_is_the_inplace_shuffle(self):
+        """§3.2: callee's ins (return values) must land in its outs."""
+        wf = WindowFile(8)
+        wf.cwp = 3
+        for i in range(8):
+            wf.write_in(i, 50 + i)
+        wf.copy_ins_to_outs(3)
+        for i in range(8):
+            assert wf.read_out(i) == 50 + i
+        # Loading a different frame over window 3 must not lose them.
+        wf.load(3, Frame([0] * 8, [0] * 8, 0))
+        for i in range(8):
+            assert wf.read_out(i) == 50 + i
