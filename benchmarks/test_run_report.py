@@ -1,0 +1,57 @@
+"""RunReport emission — the cross-PR perf-trajectory artifact.
+
+Each benchmark session writes one versioned RunReport JSON per scheme
+into ``benchmarks/results/``; CI uploads them so run-to-run performance
+(cycles, traps, switch-cost percentiles) can be diffed mechanically.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.experiments.harness import run_report_point
+from repro.metrics.report import from_json, to_json
+
+SCHEMES = ("NS", "SNP", "SP")
+
+
+@pytest.fixture(scope="module", params=SCHEMES)
+def scheme_report(request):
+    return request.param, run_report_point(
+        request.param, 8, "high", "coarse", scale=bench_scale())
+
+
+def test_emit_run_reports(benchmark, results_dir, scheme_report):
+    scheme, report = scheme_report
+    path = results_dir / ("run_report_%s_w8.json" % scheme)
+    benchmark.pedantic(lambda: path.write_text(to_json(report)),
+                       rounds=1, iterations=1)
+    assert from_json(path.read_text()) == json.loads(path.read_text())
+
+
+class TestRunReportIntegrity:
+    def test_totals_consistent(self, scheme_report):
+        __, report = scheme_report
+        c = report["counters"]
+        assert c["total_cycles"] == (c["compute_cycles"]
+                                     + c["call_cycles"] + c["trap_cycles"]
+                                     + c["switch_cycles"])
+        assert sum(c["per_thread_saves"].values()) == c["saves"]
+        assert sum(c["per_thread_restores"].values()) == c["restores"]
+
+    def test_event_stream_matches_counters(self, scheme_report):
+        __, report = scheme_report
+        by_kind = report["events"]["by_kind"]
+        c = report["counters"]
+        assert by_kind["save"] == c["saves"]
+        assert by_kind["restore"] == c["restores"]
+        assert by_kind["switch"] == c["context_switches"]
+        assert by_kind.get("overflow", 0) == c["overflow_traps"]
+        assert by_kind.get("underflow", 0) == c["underflow_traps"]
+
+    def test_switch_cost_stats_present(self, scheme_report):
+        __, report = scheme_report
+        stats = report["events"]["switch_cost"]
+        assert stats["count"] == report["counters"]["context_switches"]
+        assert stats["p50"] <= stats["p95"] <= stats["p99"] <= stats["max"]

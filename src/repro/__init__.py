@@ -40,6 +40,9 @@ from repro.core import (
     make_scheme,
 )
 from repro.metrics.counters import Counters
+from repro.metrics.events import EventBus, TraceEvent, TraceRecorder
+from repro.metrics.perfetto import PerfettoExporter
+from repro.metrics.report import build_run_report
 from repro.runtime import (
     Call,
     CloseStream,
@@ -74,6 +77,11 @@ __all__ = [
     "WorkingSetPolicy",
     "make_scheme",
     "Counters",
+    "EventBus",
+    "TraceEvent",
+    "TraceRecorder",
+    "PerfettoExporter",
+    "build_run_report",
     "Call",
     "CloseStream",
     "DeadlockError",

@@ -29,10 +29,17 @@ from repro.runtime.kernel import Kernel
 
 
 def check_document(document: bytes, dict1: bytes, dict2: bytes,
-                   m: int, n: int, scheme: str, n_windows: int):
-    """Run the pipeline over arbitrary document bytes."""
+                   m: int, n: int, scheme: str, n_windows: int,
+                   instrument=None):
+    """Run the pipeline over arbitrary document bytes.
+
+    ``instrument`` (optional) receives the kernel before spawning, so
+    observability consumers can subscribe to ``kernel.events``.
+    """
     kernel = Kernel(n_windows=n_windows, scheme=scheme,
                     verify_registers=False)
+    if instrument is not None:
+        instrument(kernel)
     s1 = kernel.stream(m, "S1")
     s2 = kernel.stream(n, "S2")
     s3 = kernel.stream(n, "S3")
@@ -69,6 +76,11 @@ def main(argv=None) -> int:
                         help="synthetic corpus scale when no file given")
     parser.add_argument("--stats", action="store_true",
                         help="print simulation statistics")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON (open in "
+                             "chrome://tracing or ui.perfetto.dev)")
+    parser.add_argument("--report", metavar="PATH", default=None,
+                        help="write a RunReport JSON document")
     args = parser.parse_args(argv)
 
     if args.file:
@@ -80,9 +92,40 @@ def main(argv=None) -> int:
         dict_size = max(200, int(round(DICT_SIZE * args.scale)))
     dict1, dict2, __ = generate_dictionaries(size=dict_size)
 
+    observers = {}
+    instrument = None
+    if args.trace or args.report:
+        from repro.metrics.behavior import BehaviorTracker
+        from repro.metrics.perfetto import PerfettoExporter
+        from repro.metrics.tracing import OccupancyTimeline
+
+        def instrument(kernel):
+            observers["recorder"] = kernel.enable_tracing()
+            observers["exporter"] = PerfettoExporter()
+            kernel.events.subscribe(observers["exporter"])
+            observers["tracker"] = BehaviorTracker()
+            kernel.tracker = observers["tracker"]
+            observers["timeline"] = OccupancyTimeline()
+            kernel.timeline = observers["timeline"]
+
     result, report = check_document(document, dict1, dict2,
                                     args.m, args.n, args.scheme,
-                                    args.windows)
+                                    args.windows, instrument=instrument)
+    if args.trace:
+        observers["exporter"].write(args.trace)
+        print("wrote Perfetto trace: %s" % args.trace)
+    if args.report:
+        from repro.metrics.report import build_run_report, write_report
+
+        run_report = build_run_report(
+            result,
+            config={"scheme": args.scheme, "n_windows": args.windows,
+                    "m": args.m, "n": args.n, "workload": "spellcheck"},
+            tracker=observers["tracker"],
+            timeline=observers["timeline"],
+            recorder=observers["recorder"])
+        write_report(run_report, args.report)
+        print("wrote RunReport: %s" % args.report)
     words = [w for w in report.decode("ascii").split("\n") if w]
     print("%d possibly-misspelled words:" % len(words))
     for word in words:

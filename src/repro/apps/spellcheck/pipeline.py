@@ -96,17 +96,23 @@ def build_spellchecker(kernel: Kernel, config: SpellConfig) -> Dict[str, object]
 def run_spellchecker(n_windows: int, scheme: str, config: SpellConfig,
                      queue_policy=None, allocation=None,
                      verify_registers: bool = False,
-                     max_steps: Optional[int] = None
-                     ) -> Tuple[RunResult, bytes]:
+                     max_steps: Optional[int] = None,
+                     instrument=None) -> Tuple[RunResult, bytes]:
     """Build and run the pipeline; returns (result, misspelling report).
 
     ``verify_registers`` defaults to False here (unlike the kernel
     default) because the evaluation sweeps are large; the test suite
     runs the pipeline with verification on.
+
+    ``instrument``, when given, is called with the kernel before any
+    thread is spawned — the hook observability consumers use to
+    subscribe to ``kernel.events`` or attach tracker/timeline.
     """
     kernel = Kernel(n_windows=n_windows, scheme=scheme,
                     queue_policy=queue_policy, allocation=allocation,
                     verify_registers=verify_registers)
+    if instrument is not None:
+        instrument(kernel)
     build_spellchecker(kernel, config)
     result = kernel.run(max_steps=max_steps)
     return result, result.result_of("T5.output")

@@ -65,9 +65,11 @@ class NSScheme(Scheme):
         self.map.set_reserved(new_reserved)
         self.reserved = new_reserved
         self.wf.set_wim({self.reserved})
-        self.counters.record_trap(
-            "overflow", tw.tid,
-            self.cost.overflow_cost_multi(spills), spilled=True)
+        cycles = self.cost.overflow_cost_multi(spills)
+        self.counters.record_trap("overflow", tw.tid, cycles, spilled=True)
+        if self.events.active:
+            self.events.emit("overflow", tid=tw.tid, spilled=spills,
+                             cycles=cycles)
 
     def handle_underflow(self, tw: ThreadWindows) -> None:
         """Figure 4: restore the missing frame(s) into the window(s)
@@ -116,10 +118,12 @@ class NSScheme(Scheme):
         self.map.set_reserved(new_reserved)
         self.reserved = new_reserved
         self.wf.set_wim({self.reserved})
-        self.counters.record_trap(
-            "underflow", tw.tid,
-            self.cost.underflow_conventional_multi(restores),
-            restored=True)
+        cycles = self.cost.underflow_conventional_multi(restores)
+        self.counters.record_trap("underflow", tw.tid, cycles,
+                                  restored=True)
+        if self.events.active:
+            self.events.emit("underflow", tid=tw.tid, restored=restores,
+                             cycles=cycles, inplace=False)
 
     # -- context switch --------------------------------------------------------
 
@@ -142,9 +146,7 @@ class NSScheme(Scheme):
         self._run_thread(in_tw)
         self.wf.set_wim({self.reserved})
         cycles = self.cost.ns_switch_cost(saves, restores)
-        self.counters.record_switch(
-            out_tw.tid if out_tw is not None else None, in_tw.tid,
-            saves, restores, cycles)
+        self._record_switch(out_tw, in_tw, saves, restores, cycles)
 
     def _flush_all(self, tw: ThreadWindows) -> int:
         """Flush every active window, outermost (bottom) first, and save

@@ -41,8 +41,23 @@ class Scheme(ABC):
         self.map = cpu.map
         self.cost = cpu.cost
         self.counters = cpu.counters
+        #: the CPU's trace-event bus (shared with the kernel)
+        self.events = cpu.events
         cpu.bind_scheme(self)
         self.threads: Dict[int, ThreadWindows] = {}
+
+    # -- trace events -------------------------------------------------------
+
+    def _record_switch(self, out_tw: Optional[ThreadWindows],
+                       in_tw: ThreadWindows, saves: int, restores: int,
+                       cycles: int) -> None:
+        """Count one context switch and publish its trace event."""
+        out_tid = out_tw.tid if out_tw is not None else None
+        self.counters.record_switch(out_tid, in_tw.tid, saves, restores,
+                                    cycles)
+        if self.events.active:
+            self.events.emit("switch", tid=in_tw.tid, out_tid=out_tid,
+                             saves=saves, restores=restores, cycles=cycles)
 
     # -- registration ------------------------------------------------------
 

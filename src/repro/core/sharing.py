@@ -78,9 +78,12 @@ class SharingScheme(Scheme):
         # the way (recomputing the WIM costs the same either way).
         self.map.set_free(boundary)
         spilled = self._position_boundary(tw, top=boundary)
-        self.counters.record_trap(
-            "overflow", tw.tid, self.cost.overflow_cost(spilled > 0),
-            spilled=spilled > 0)
+        cycles = self.cost.overflow_cost(spilled > 0)
+        self.counters.record_trap("overflow", tw.tid, cycles,
+                                  spilled=spilled > 0)
+        if self.events.active:
+            self.events.emit("overflow", tid=tw.tid, spilled=spilled,
+                             cycles=cycles)
 
     def _position_boundary(self, tw: ThreadWindows, top: int) -> int:
         """Place the thread's boundary (global reserved window or PRW)
@@ -146,9 +149,12 @@ class SharingScheme(Scheme):
         tw.depth -= 1
         # CWP, bottom, resident, WIM and occupancy all stay put: the
         # thread virtually moved one window down without physical motion.
-        self.counters.record_trap(
-            "underflow", tw.tid, self.cost.underflow_inplace_cost(),
-            restored=True)
+        cycles = self.cost.underflow_inplace_cost()
+        self.counters.record_trap("underflow", tw.tid, cycles,
+                                  restored=True)
+        if self.events.active:
+            self.events.emit("underflow", tid=tw.tid, restored=1,
+                             cycles=cycles, inplace=True)
 
     # -- flush-type context switch (§4.4) ------------------------------------
 

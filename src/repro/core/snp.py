@@ -76,9 +76,8 @@ class SNPScheme(SharingScheme):
         self._note_dispatch(in_tw)
         cycles = (self.cost.snp_switch_cost(saves, restores)
                   + self.cost.flush_cost(flushed))
-        self.counters.record_switch(
-            out_tw.tid if out_tw is not None else None, in_tw.tid,
-            saves + flushed, restores, cycles)
+        self._record_switch(out_tw, in_tw, saves + flushed, restores,
+                            cycles)
 
     def min_windows(self) -> int:
         return 3

@@ -102,9 +102,8 @@ class SPScheme(SharingScheme):
         self._note_dispatch(in_tw)
         cycles = (self.cost.sp_switch_cost(saves, restores, allocated)
                   + self.cost.flush_cost(flushed))
-        self.counters.record_switch(
-            out_tw.tid if out_tw is not None else None, in_tw.tid,
-            saves + flushed, restores, cycles)
+        self._record_switch(out_tw, in_tw, saves + flushed, restores,
+                            cycles)
 
     def _snug_prw(self, tw: ThreadWindows) -> None:
         """Move the PRW down to immediately above the stack-top (§4.1).

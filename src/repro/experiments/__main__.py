@@ -1,6 +1,9 @@
 """Command-line entry point: ``python -m repro.experiments <target>``.
 
-Targets: table1 table2 fig11 fig12 fig13 fig14 fig15 all
+Targets: table1 table2 fig11 fig12 fig13 fig14 fig15 all report
+
+``report`` emits one versioned RunReport JSON document (see
+``repro.metrics.report``) for a fully-instrumented spell-checker run.
 
 Environment knobs:
   REPRO_SCALE    corpus scale factor (default 0.25; 1.0 = paper size)
@@ -47,15 +50,35 @@ def main(argv=None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("target", choices=sorted(
-        list(FIGURES) + ["table1", "table2", "all"]))
+        list(FIGURES) + ["table1", "table2", "all", "report"]))
     parser.add_argument("--scale", type=float, default=None,
                         help="corpus scale (1.0 = the paper's 40.5 kB)")
     parser.add_argument("--windows", type=str, default=None,
                         help="comma-separated window counts")
+    parser.add_argument("--scheme", default="SP",
+                        choices=["NS", "SNP", "SP"],
+                        help="scheme for the report target")
+    parser.add_argument("--out", type=str, default=None,
+                        help="report target: write JSON here "
+                             "(default: stdout)")
     args = parser.parse_args(argv)
 
     windows = ([int(x) for x in args.windows.split(",")]
                if args.windows else None)
+
+    if args.target == "report":
+        from repro.experiments.harness import run_report_point
+        from repro.metrics.report import to_json, write_report
+
+        report = run_report_point(
+            args.scheme, windows[0] if windows else 8, "high", "coarse",
+            scale=args.scale)
+        if args.out:
+            write_report(report, args.out)
+            print("wrote RunReport: %s" % args.out)
+        else:
+            print(to_json(report))
+        return 0
 
     targets = ([args.target] if args.target != "all"
                else ["table1", "table2"] + sorted(FIGURES))

@@ -10,6 +10,10 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.apps.spellcheck import SpellConfig, run_spellchecker
 from repro.core.working_set import FIFOPolicy, WorkingSetPolicy
+from repro.metrics.behavior import BehaviorTracker
+from repro.metrics.events import TraceRecorder
+from repro.metrics.report import build_run_report
+from repro.metrics.tracing import OccupancyTimeline
 
 #: default sweep (a subset of the paper's 4..32 that keeps runtimes sane;
 #: override per call or with the REPRO_WINDOWS environment variable)
@@ -97,6 +101,42 @@ def run_point(scheme: str, n_windows: int, concurrency: str,
             names[tid]: n for tid, n in c.per_thread_saves.items()},
         output_bytes=len(output),
     )
+
+
+def run_report_point(scheme: str, n_windows: int, concurrency: str,
+                     granularity: str, scale: Optional[float] = None,
+                     working_set: bool = False, seed: int = 1993,
+                     allocation=None) -> Dict:
+    """Run one spell-checker point with the full observability stack
+    attached and return its versioned RunReport dict (the document
+    ``benchmarks/`` emits for cross-PR perf trajectories)."""
+    if scale is None:
+        scale = env_scale()
+    config = SpellConfig.named(concurrency, granularity,
+                               scale=scale, seed=seed)
+    policy = WorkingSetPolicy() if working_set else FIFOPolicy()
+    observers = {}
+
+    def instrument(kernel):
+        observers["recorder"] = kernel.enable_tracing()
+        observers["tracker"] = BehaviorTracker()
+        kernel.tracker = observers["tracker"]
+        observers["timeline"] = OccupancyTimeline()
+        kernel.timeline = observers["timeline"]
+
+    result, output = run_spellchecker(
+        n_windows, scheme, config, queue_policy=policy,
+        allocation=allocation, instrument=instrument)
+    return build_run_report(
+        result,
+        config={"scheme": scheme, "n_windows": n_windows,
+                "concurrency": concurrency, "granularity": granularity,
+                "policy": policy.name, "scale": scale, "seed": seed,
+                "workload": "spellcheck",
+                "output_bytes": len(output)},
+        tracker=observers["tracker"],
+        timeline=observers["timeline"],
+        recorder=observers["recorder"])
 
 
 def sweep_windows(concurrency: str, granularity: str,

@@ -1,5 +1,22 @@
-"""Instrumentation: counters, event traces, behaviour analysis, reporting."""
+"""Instrumentation: counters, the structured event bus, behaviour
+analysis, Perfetto export, run reports and plain-text reporting."""
 
 from repro.metrics.counters import Counters, SwitchRecord, TrapRecord
+from repro.metrics.events import EventBus, TraceEvent, TraceRecorder
+from repro.metrics.perfetto import PerfettoExporter
+from repro.metrics.report import (
+    SCHEMA_VERSION as RUN_REPORT_VERSION,
+    build_run_report,
+)
 
-__all__ = ["Counters", "SwitchRecord", "TrapRecord"]
+__all__ = [
+    "Counters",
+    "SwitchRecord",
+    "TrapRecord",
+    "EventBus",
+    "TraceEvent",
+    "TraceRecorder",
+    "PerfettoExporter",
+    "RUN_REPORT_VERSION",
+    "build_run_report",
+]

@@ -12,8 +12,9 @@
 * **Parallel slackness** — ready-queue length when a thread is picked
   (sampled by :class:`repro.runtime.scheduler.ReadyQueue`).
 
-The tracker hooks into the kernel (``kernel.tracker = BehaviorTracker()``)
-and records one row per scheduling quantum; the analysis functions then
+The tracker subscribes to the kernel's event bus (attaching with
+``kernel.tracker = BehaviorTracker()`` subscribes it automatically) and
+records one row per scheduling quantum; the analysis functions then
 aggregate over configurable periods.
 """
 
@@ -51,6 +52,20 @@ class BehaviorTracker:
         self._start = 0
         self._min = 0
         self._max = 0
+
+    # -- event-bus subscriber ------------------------------------------------
+
+    def on_event(self, event) -> None:
+        """Consume bus events: quanta open on ``dispatch``, depth
+        excursions come from ``save``/``restore``, and ``run_end``
+        closes the final quantum."""
+        kind = event.kind
+        if kind == "dispatch":
+            self.on_dispatch(event.tid, event.attrs["depth"], event.cycle)
+        elif kind == "save" or kind == "restore":
+            self.on_depth(event.attrs["depth"])
+        elif kind == "run_end":
+            self.finish(event.cycle)
 
     # -- kernel hooks -------------------------------------------------------
 

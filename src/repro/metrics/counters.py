@@ -58,6 +58,7 @@ class Counters:
 
     per_thread_switches: Dict[int, int] = field(default_factory=dict)
     per_thread_saves: Dict[int, int] = field(default_factory=dict)
+    per_thread_restores: Dict[int, int] = field(default_factory=dict)
 
     keep_trace: bool = False
     switch_trace: List[SwitchRecord] = field(default_factory=list)
@@ -98,6 +99,8 @@ class Counters:
 
     def record_restore(self, tid: int) -> None:
         self.restores += 1
+        self.per_thread_restores[tid] = (
+            self.per_thread_restores.get(tid, 0) + 1)
 
     def record_trap(self, kind: str, tid: int, cycles: int,
                     spilled: bool = False, restored: bool = False) -> None:
@@ -139,7 +142,7 @@ class Counters:
         """Histogram of (windows saved, windows restored) per switch."""
         return dict(self.switch_transfer_hist)
 
-    def snapshot(self) -> Dict[str, int]:
+    def snapshot(self) -> Dict[str, object]:
         """Plain-dict summary, convenient for reporting and assertions."""
         return {
             "saves": self.saves,
@@ -154,4 +157,6 @@ class Counters:
             "trap_cycles": self.trap_cycles,
             "switch_cycles": self.switch_cycles,
             "total_cycles": self.total_cycles,
+            "per_thread_saves": dict(self.per_thread_saves),
+            "per_thread_restores": dict(self.per_thread_restores),
         }

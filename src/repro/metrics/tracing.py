@@ -35,20 +35,51 @@ class TimelineSample:
 
 
 class OccupancyTimeline:
-    """Records window-map snapshots; renders them as a timeline."""
+    """Records window-map snapshots; renders them as a timeline.
+
+    Long runs are decimated in place rather than truncated: when the
+    sample list fills, every other sample is discarded and the stride
+    doubles, so the retained samples always span the whole run (at
+    progressively coarser resolution) instead of only its beginning.
+    """
 
     def __init__(self, max_samples: int = 4096):
+        if max_samples < 2:
+            raise ValueError("max_samples must be >= 2")
         self.max_samples = max_samples
         self.samples: List[TimelineSample] = []
         self.n_windows: Optional[int] = None
         self._dropped = 0
+        self._stride = 1
+        self._since_kept = 0
+        #: the CPU snapshots are taken from; set when the timeline is
+        #: attached to a kernel (``kernel.timeline = ...`` subscribes it
+        #: to the kernel's event bus)
+        self.cpu = None
+
+    # -- event-bus subscriber ----------------------------------------------
+
+    def on_event(self, event) -> None:
+        """Take one snapshot per ``dispatch`` event on the bus."""
+        if event.kind == "dispatch" and self.cpu is not None:
+            self.snapshot(self.cpu, event.tid, event.cycle)
 
     # -- kernel hook -----------------------------------------------------------
 
     def snapshot(self, cpu, running_tid: int, cycle: int) -> None:
-        if len(self.samples) >= self.max_samples:
+        if self._since_kept:
+            # Mid-stride arrival: drop it, like its decimated peers.
+            self._since_kept = (self._since_kept + 1) % self._stride
             self._dropped += 1
             return
+        self._since_kept = (self._since_kept + 1) % self._stride
+        if len(self.samples) >= self.max_samples:
+            # Decimate in place: keep every other sample, double the
+            # stride.  Dropped samples stay counted.
+            self._dropped += len(self.samples) - len(self.samples[::2])
+            self.samples = self.samples[::2]
+            self._stride *= 2
+            self._since_kept = 1 % self._stride
         wmap = cpu.map
         self.n_windows = wmap.n_windows
         cells = []
@@ -67,6 +98,11 @@ class OccupancyTimeline:
         self.samples.append(TimelineSample(cycle, running_tid, cells))
 
     # -- analysis ----------------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Snapshots not retained (decimated or skipped mid-stride)."""
+        return self._dropped
 
     def occupancy_ratio(self) -> float:
         """Mean fraction of windows holding live frames."""

@@ -91,12 +91,57 @@ class Kernel:
         self.current: Optional[SimThread] = None
         self.last_suspended: Optional[SimThread] = None
         self.verify_registers = verify_registers
-        #: optional repro.metrics.behavior.BehaviorTracker
-        self.tracker = None
-        #: optional repro.metrics.tracing.OccupancyTimeline
-        self.timeline = None
+        #: the structured trace-event bus (shared with the CPU, the
+        #: scheme, the ready queue and every stream); disabled until a
+        #: consumer subscribes
+        self.events = self.cpu.events
+        self.ready.events = self.events
+        self._tracker = None
+        self._timeline = None
         self._running = False
         self._steps = 0
+
+    # -- observability ------------------------------------------------------
+
+    @property
+    def tracker(self):
+        """Optional :class:`repro.metrics.behavior.BehaviorTracker`.
+
+        Assigning one subscribes it to the event bus (the legacy
+        hand-wired attribute is kept as this alias)."""
+        return self._tracker
+
+    @tracker.setter
+    def tracker(self, tracker) -> None:
+        if self._tracker is not None:
+            self.events.unsubscribe(self._tracker)
+        self._tracker = tracker
+        if tracker is not None:
+            self.events.subscribe(tracker)
+
+    @property
+    def timeline(self):
+        """Optional :class:`repro.metrics.tracing.OccupancyTimeline`,
+        subscribed to the event bus when assigned."""
+        return self._timeline
+
+    @timeline.setter
+    def timeline(self, timeline) -> None:
+        if self._timeline is not None:
+            self.events.unsubscribe(self._timeline)
+        self._timeline = timeline
+        if timeline is not None:
+            timeline.cpu = self.cpu
+            self.events.subscribe(timeline)
+
+    def enable_tracing(self, recorder=None):
+        """Subscribe (and return) a TraceRecorder capturing every event."""
+        from repro.metrics.events import TraceRecorder
+
+        if recorder is None:
+            recorder = TraceRecorder()
+        self.events.subscribe(recorder)
+        return recorder
 
     # -- setup ------------------------------------------------------------
 
@@ -114,12 +159,18 @@ class Kernel:
         thread = SimThread(len(self.threads), name, factory, args)
         self.threads.append(thread)
         self.scheme.register(thread.windows)
+        if self.events.active:
+            parent = self.current.tid if self.current is not None else None
+            self.events.emit("spawn", tid=thread.tid, name=thread.name,
+                             parent=parent)
         self.ready.push_new(thread)
         return thread
 
     def stream(self, capacity: int, name: str = "") -> Stream:
-        """Convenience stream constructor."""
-        return Stream(capacity, name)
+        """Convenience stream constructor (wired to the event bus)."""
+        stream = Stream(capacity, name)
+        stream.events = self.events
+        return stream
 
     # -- main loop -----------------------------------------------------------
 
@@ -140,8 +191,8 @@ class Kernel:
             self._run_quantum(max_steps)
             if max_steps is not None and self._steps >= max_steps:
                 raise RuntimeFault("step budget of %d exceeded" % max_steps)
-        if self.tracker is not None:
-            self.tracker.finish(self.counters.total_cycles)
+        if self.events.active:
+            self.events.emit("run_end")
         return RunResult(self.counters, list(self.threads), self._steps,
                          list(self.ready.slackness_samples))
 
@@ -160,12 +211,9 @@ class Kernel:
             thread.start_root()
             if self.verify_registers:
                 self.cpu.write_local(0, ("sig", thread.tid, 1))
-        if self.tracker is not None:
-            self.tracker.on_dispatch(thread.tid, thread.windows.depth,
-                                     self.counters.total_cycles)
-        if self.timeline is not None:
-            self.timeline.snapshot(self.cpu, thread.tid,
-                                   self.counters.total_cycles)
+        if self.events.active:
+            self.events.emit("dispatch", tid=thread.tid,
+                             depth=thread.windows.depth)
 
     # -- quantum execution ----------------------------------------------------------
 
@@ -207,6 +255,8 @@ class Kernel:
                 self._do_close(cmd.stream)
             elif t is YieldCPU:
                 if self.ready:
+                    if self.events.active:
+                        self.events.emit("yield", tid=thread.tid)
                     self.ready.push_yielded(thread)
                     self.last_suspended = thread
                     self.current = None
@@ -248,8 +298,6 @@ class Kernel:
             cpu.write_local(0, ("sig", thread.tid, tw.depth))
         thread.gen_stack.append(cmd.factory(*args))
         thread.resume_value = None
-        if self.tracker is not None:
-            self.tracker.on_depth(tw.depth)
 
     def _handle_return(self, thread: SimThread, value: Any) -> bool:
         """Pop a finished procedure; True when the thread is done."""
@@ -265,8 +313,15 @@ class Kernel:
             thread.state = DONE
             self.scheme.retire(tw)
             self.current = None
+            events_on = self.events.active
+            if events_on:
+                self.events.emit("retire", tid=thread.tid,
+                                 name=thread.name)
             for waiter in thread.join_waiters:
                 waiter.blocked_on = None
+                if events_on:
+                    self.events.emit("wake", tid=waiter.tid,
+                                     on=thread.name, op="join")
                 self.ready.push_woken(waiter)
             del thread.join_waiters[:]
             return True
@@ -280,8 +335,6 @@ class Kernel:
         cpu.write_in(0, value)
         cpu.restore(tw)
         thread.resume_value = cpu.read_out(0)
-        if self.tracker is not None:
-            self.tracker.on_depth(tw.depth)
         return False
 
     # -- blocking stream operations ------------------------------------------------
@@ -343,22 +396,24 @@ class Kernel:
             target: SimThread = pending[1]
             target.join_waiters.append(thread)
             thread.blocked_on = "join %s" % target.name
-            thread.state = BLOCKED
-            thread.blocks += 1
-            self.last_suspended = thread
-            self.current = None
-            return
-        stream: Stream = pending[1]
-        if pending[0] == "write":
-            stream.write_waiters.append(thread)
-            thread.blocked_on = "write %s" % (stream.name or "stream")
+            op = "join"
+            on = target.name
         else:
-            stream.read_waiters.append(thread)
-            thread.blocked_on = "read %s" % (stream.name or "stream")
+            stream: Stream = pending[1]
+            op = "write" if pending[0] == "write" else "read"
+            on = stream.name or "stream"
+            if pending[0] == "write":
+                stream.write_waiters.append(thread)
+                thread.blocked_on = "write %s" % on
+            else:
+                stream.read_waiters.append(thread)
+                thread.blocked_on = "read %s" % on
         thread.state = BLOCKED
         thread.blocks += 1
         self.last_suspended = thread
         self.current = None
+        if self.events.active:
+            self.events.emit("block", tid=thread.tid, on=on, op=op)
 
     def _do_close(self, stream: Stream) -> None:
         stream.close()
@@ -368,13 +423,21 @@ class Kernel:
             self._wake_writers(stream)
 
     def _wake_readers(self, stream: Stream) -> None:
+        events_on = self.events.active
         for waiter in stream.read_waiters:
             waiter.blocked_on = None
+            if events_on:
+                self.events.emit("wake", tid=waiter.tid,
+                                 on=stream.name or "stream", op="read")
             self.ready.push_woken(waiter)
         del stream.read_waiters[:]
 
     def _wake_writers(self, stream: Stream) -> None:
+        events_on = self.events.active
         for waiter in stream.write_waiters:
             waiter.blocked_on = None
+            if events_on:
+                self.events.emit("wake", tid=waiter.tid,
+                                 on=stream.name or "stream", op="write")
             self.ready.push_woken(waiter)
         del stream.write_waiters[:]

@@ -24,6 +24,8 @@ class ReadyQueue:
         #: parallel-slackness samples (§5): queue length at each pop
         self.slackness_samples = []
         self.sample_slackness = False
+        #: trace-event bus (wired by the kernel; None when standalone)
+        self.events = None
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -35,6 +37,7 @@ class ReadyQueue:
         """A freshly spawned thread always enters at the back."""
         thread.state = READY
         self._queue.append(thread)
+        self._note_enqueue(thread, "new", "back")
 
     def push_woken(self, thread: SimThread) -> None:
         """A thread awoken by another thread; placement is the policy's
@@ -42,16 +45,27 @@ class ReadyQueue:
         thread.state = READY
         if self.policy.enqueue_position(thread.windows) == FRONT:
             self._queue.appendleft(thread)
+            self._note_enqueue(thread, "woken", "front")
         else:
             self._queue.append(thread)
+            self._note_enqueue(thread, "woken", "back")
 
     def push_yielded(self, thread: SimThread) -> None:
         """A thread that voluntarily yielded the CPU."""
         thread.state = READY
         if self.policy.yield_position(thread.windows) == FRONT:
             self._queue.appendleft(thread)
+            self._note_enqueue(thread, "yielded", "front")
         else:
             self._queue.append(thread)
+            self._note_enqueue(thread, "yielded", "back")
+
+    def _note_enqueue(self, thread: SimThread, reason: str,
+                      position: str) -> None:
+        events = self.events
+        if events is not None and events.active:
+            events.emit("enqueue", tid=thread.tid, reason=reason,
+                        position=position, depth=len(self._queue))
 
     def pop(self) -> SimThread:
         if self.sample_slackness:

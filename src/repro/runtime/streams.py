@@ -33,6 +33,8 @@ class Stream:
         #: lifetime statistics
         self.bytes_written = 0
         self.bytes_read = 0
+        #: trace-event bus (wired by ``kernel.stream``; None standalone)
+        self.events = None
 
     # -- capacity queries -----------------------------------------------------
 
@@ -99,7 +101,12 @@ class Stream:
                                                and bool(self._data))
 
     def close(self) -> None:
+        was_open = not self.closed
         self.closed = True
+        events = self.events
+        if was_open and events is not None and events.active:
+            events.emit("stream_close", stream=self.name,
+                        written=self.bytes_written, read=self.bytes_read)
 
     def __repr__(self) -> str:
         return "Stream(%r, %d/%d%s)" % (

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.metrics.counters import Counters
+from repro.metrics.events import EventBus
 from repro.windows.errors import WindowGeometryError
 from repro.windows.occupancy import WindowMap
 from repro.windows.thread_windows import ThreadWindows
@@ -30,6 +31,10 @@ class WindowCPU:
         self.map = WindowMap(n_windows)
         self.counters = counters if counters is not None else Counters()
         self.cost = cost_model if cost_model is not None else CostModel()
+        #: structured trace-event bus, stamped with this CPU's cycle
+        #: clock; disabled (no subscribers) by default
+        counters = self.counters
+        self.events = EventBus(clock=lambda: counters.total_cycles)
         self.scheme = None
         #: the thread currently executing on this CPU
         self.current: Optional[ThreadWindows] = None
@@ -68,6 +73,9 @@ class WindowCPU:
         tw.resident += 1
         tw.depth += 1
         self.map.set_frame(target, tw.tid)
+        if self.events.active:
+            self.events.emit("save", tid=tw.tid, window=target,
+                             depth=tw.depth)
 
     def restore(self, tw: ThreadWindows) -> bool:
         """Execute a ``restore``: return to the caller's window.
@@ -86,13 +94,20 @@ class WindowCPU:
         target = wf.below(wf.cwp)
         if wf.is_invalid(target):
             self.scheme.handle_underflow(tw)
+            if self.events.active:
+                self.events.emit("restore", tid=tw.tid, window=wf.cwp,
+                                 depth=tw.depth, inplace=True)
             return True
         # Plain restore: the callee's window is vacated.
-        self.map.set_free(wf.cwp)
+        freed = wf.cwp
+        self.map.set_free(freed)
         wf.cwp = target
         tw.cwp = target
         tw.resident -= 1
         tw.depth -= 1
+        if self.events.active:
+            self.events.emit("restore", tid=tw.tid, window=target,
+                             depth=tw.depth, freed=freed, inplace=False)
         return False
 
     # -- register accessors (current window) ------------------------------

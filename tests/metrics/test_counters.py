@@ -54,6 +54,16 @@ class TestCounters:
         assert c.per_thread_saves == {3: 2, 5: 1}
         assert c.per_thread_switches == {3: 1}
 
+    def test_per_thread_restores(self):
+        c = Counters()
+        c.record_save(3)
+        c.record_restore(3)
+        c.record_restore(3)
+        c.record_restore(7)
+        assert c.per_thread_restores == {3: 2, 7: 1}
+        assert c.restores == 3
+        assert sum(c.per_thread_restores.values()) == c.restores
+
     def test_trace_kept_only_when_asked(self):
         c = Counters()
         c.record_switch(None, 0, 0, 0, 10)
@@ -71,4 +81,17 @@ class TestCounters:
         snap = Counters().snapshot()
         assert snap["total_cycles"] == 0
         assert set(snap) >= {"saves", "restores", "overflow_traps",
-                             "underflow_traps", "context_switches"}
+                             "underflow_traps", "context_switches",
+                             "per_thread_saves", "per_thread_restores"}
+
+    def test_snapshot_per_thread_maps(self):
+        c = Counters()
+        c.record_save(1)
+        c.record_restore(1)
+        c.record_restore(2)
+        snap = c.snapshot()
+        assert snap["per_thread_saves"] == {1: 1}
+        assert snap["per_thread_restores"] == {1: 1, 2: 1}
+        # snapshot returns copies, not live references
+        snap["per_thread_restores"][9] = 99
+        assert 9 not in c.per_thread_restores

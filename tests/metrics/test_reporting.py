@@ -42,3 +42,34 @@ class TestAsciiChart:
         chart = ascii_chart({"s": [(1, 5.0), (2, 5.0)]}, width=16,
                             height=4)
         assert "o" in chart
+
+    @staticmethod
+    def _markers(chart, marker="o"):
+        grid = [ln for ln in chart.splitlines() if "|" in ln]
+        return sum(ln.count(marker) for ln in grid)
+
+    def test_negative_values(self):
+        chart = ascii_chart({"s": [(0, -4.0), (1, 3.0), (2, -1.0)]},
+                            width=16, height=6)
+        assert "-4" in chart  # y axis reaches below zero
+        assert "3" in chart
+        assert self._markers(chart) == 3
+
+    def test_all_negative_values(self):
+        chart = ascii_chart({"s": [(0, -8.0), (1, -2.0)]}, width=16,
+                            height=6)
+        assert "-8" in chart
+        assert self._markers(chart) == 2
+
+    def test_more_series_than_markers(self):
+        series = {"s%d" % i: [(i, float(i))] for i in range(12)}
+        chart = ascii_chart(series, width=32, height=8)
+        # only the first 8 series get a marker (markers are exhausted);
+        # the chart must still render without raising
+        assert "s0" in chart and "s7" in chart
+        assert "s8" not in chart.splitlines()[-1]
+
+    def test_single_series_negative_and_zero(self):
+        chart = ascii_chart({"s": [(0, 0.0), (1, -1.0)]}, width=8,
+                            height=4)
+        assert "(no data)" not in chart

@@ -1,0 +1,56 @@
+"""The trace CLI (``python -m repro.metrics.trace``)."""
+
+import json
+
+from repro.metrics.report import from_json
+from repro.metrics.trace import main
+
+
+class TestTraceCli:
+    def test_default_summary(self, capsys):
+        assert main(["--app", "pingpong", "--rounds", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "per-thread cycle attribution" in out
+        assert "context-switch cost (cycles)" in out
+        assert "events by kind" in out
+        assert "p50" in out and "p99" in out
+
+    def test_list_with_filters(self, capsys):
+        assert main(["--app", "pingpong", "--rounds", "30", "--list",
+                     "--kind", "switch,overflow", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        lines = [ln for ln in out.splitlines() if " switch " in ln
+                 or " overflow " in ln]
+        assert lines and len(lines) <= 6  # 5 events + possible header hit
+        assert "dispatch" not in out
+
+    def test_perfetto_and_report_export(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        report_path = tmp_path / "report.json"
+        assert main(["--app", "forkjoin", "--rounds", "10",
+                     "--scheme", "NS", "--windows", "6",
+                     "--perfetto", str(trace_path),
+                     "--report", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote Perfetto trace" in out
+        assert "wrote RunReport" in out
+        # exporting suppresses the summary unless asked for
+        assert "per-thread cycle attribution" not in out
+
+        trace = json.loads(trace_path.read_text())
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+        report = from_json(report_path.read_text())
+        assert report["config"]["app"] == "forkjoin"
+        assert report["config"]["scheme"] == "NS"
+        assert report["events"]["total"] > 0
+
+    def test_spellcheck_app_tiny(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        assert main(["--scale", "0.02", "--report", str(report_path),
+                     "--summary"]) == 0
+        out = capsys.readouterr().out
+        assert "per-thread cycle attribution" in out
+        report = from_json(report_path.read_text())
+        assert len(report["threads"]) == 7  # the paper's 7-thread pipeline
+        assert report["config"]["app"] == "spellcheck"

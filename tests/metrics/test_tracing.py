@@ -47,8 +47,34 @@ class TestSampling:
 
     def test_max_samples_respected(self):
         timeline = _run("SP", max_samples=5)
-        assert len(timeline.samples) == 5
+        assert 0 < len(timeline.samples) <= 5
+        assert timeline.dropped > 0
         assert "dropped" in timeline.render()
+
+    def test_decimation_spans_whole_run(self):
+        """Overflowing the budget decimates in place (keep every other
+        sample, double the stride) instead of truncating, so the last
+        retained sample is from the run's tail, not its head."""
+        full = _run("SP", max_samples=4096)
+        small = _run("SP", max_samples=8)
+        assert len(small.samples) <= 8
+        # All snapshots are accounted for: kept + dropped == taken.
+        assert len(small.samples) + small.dropped == len(full.samples)
+        # End-to-end coverage: the decimated timeline still reaches
+        # (close to) the final dispatch of the run.
+        last_full = full.samples[-1].cycle
+        last_small = small.samples[-1].cycle
+        assert last_small >= last_full * 0.7
+
+    def test_decimation_keeps_even_spacing(self):
+        full = _run("SP", max_samples=4096)
+        small = _run("SP", max_samples=8)
+        # The retained samples are a strided subsequence of the full
+        # ones: every kept cycle also appears in the full timeline.
+        full_cycles = [s.cycle for s in full.samples]
+        kept = [s.cycle for s in small.samples]
+        assert all(c in full_cycles for c in kept)
+        assert kept == sorted(kept)
 
 
 class TestAnalysis:
