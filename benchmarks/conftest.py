@@ -111,7 +111,13 @@ def value_at(points, n_windows):
 
 
 def write_series_report(path, title, series_by_gran, fmt="%.0f"):
-    """Dump every series as aligned text plus ASCII charts."""
+    """Dump every series as aligned text plus ASCII charts.
+
+    Written atomically (temp file + rename) so parallel pytest workers
+    or an interrupted run can never leave a truncated report in
+    ``benchmarks/results/``.
+    """
+    from repro.experiments.engine import atomic_write_text
     from repro.metrics.reporting import ascii_chart
 
     lines = [title, "=" * len(title), ""]
@@ -127,4 +133,4 @@ def write_series_report(path, title, series_by_gran, fmt="%.0f"):
             xlabel="number of windows")
         lines.append(chart)
         lines.append("")
-    path.write_text("\n".join(lines))
+    atomic_write_text(path, "\n".join(lines))

@@ -1,7 +1,9 @@
 """RunReport emission — the cross-PR perf-trajectory artifact.
 
-Each benchmark session writes one versioned RunReport JSON per scheme
-into ``benchmarks/results/``; CI uploads them so run-to-run performance
+Each benchmark session produces one versioned RunReport JSON per
+scheme through the sweep engine (serial, uncached, so the benchmark
+always measures a fresh run) and writes it atomically into
+``benchmarks/results/``; CI uploads them so run-to-run performance
 (cycles, traps, switch-cost percentiles) can be diffed mechanically.
 """
 
@@ -10,24 +12,31 @@ import json
 import pytest
 
 from benchmarks.conftest import bench_scale
-from repro.experiments.harness import run_report_point
-from repro.metrics.report import from_json, to_json
+from repro.experiments.engine import Engine, PointSpec
+from repro.metrics.report import from_json, to_json, write_report
 
 SCHEMES = ("NS", "SNP", "SP")
 
 
 @pytest.fixture(scope="module", params=SCHEMES)
 def scheme_report(request):
-    return request.param, run_report_point(
-        request.param, 8, "high", "coarse", scale=bench_scale())
+    engine = Engine(jobs=1, cache_dir=None)
+    [report] = engine.run_reports([PointSpec(
+        scheme=request.param, n_windows=8, concurrency="high",
+        granularity="coarse", scale=bench_scale())])
+    assert engine.last_stats.executed == 1
+    return request.param, report
 
 
 def test_emit_run_reports(benchmark, results_dir, scheme_report):
     scheme, report = scheme_report
     path = results_dir / ("run_report_%s_w8.json" % scheme)
-    benchmark.pedantic(lambda: path.write_text(to_json(report)),
+    benchmark.pedantic(lambda: write_report(report, str(path)),
                        rounds=1, iterations=1)
     assert from_json(path.read_text()) == json.loads(path.read_text())
+    assert path.read_text() == to_json(report)
+    leftovers = list(results_dir.glob(path.name + ".*.tmp"))
+    assert not leftovers, "atomic write left temp files: %s" % leftovers
 
 
 class TestRunReportIntegrity:

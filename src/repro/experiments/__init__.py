@@ -11,11 +11,26 @@ Run from the command line::
 
 or call the functions directly (each returns structured data and a
 rendered text report).
+
+Sweeps fan out over the parallel cached engine — see
+``python -m repro.experiments fig11 --jobs 8`` and
+:mod:`repro.experiments.engine`.
 """
 
+from repro.experiments.engine import (
+    Engine,
+    EngineError,
+    EngineStats,
+    PointSpec,
+    ResultCache,
+    cache_key,
+    point_from_report,
+    sweep_specs,
+)
 from repro.experiments.harness import (
     ExperimentPoint,
     run_point,
+    run_report_point,
     sweep_windows,
 )
 from repro.experiments.table1 import run_table1
@@ -29,8 +44,17 @@ from repro.experiments.figures import (
 )
 
 __all__ = [
+    "Engine",
+    "EngineError",
+    "EngineStats",
     "ExperimentPoint",
+    "PointSpec",
+    "ResultCache",
+    "cache_key",
+    "point_from_report",
     "run_point",
+    "run_report_point",
+    "sweep_specs",
     "sweep_windows",
     "run_table1",
     "run_table2",

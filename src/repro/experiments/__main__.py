@@ -2,12 +2,20 @@
 
 Targets: table1 table2 fig11 fig12 fig13 fig14 fig15 all report
 
+Every sweep target goes through the parallel cached experiment engine
+(``repro.experiments.engine``): points fan out over ``--jobs`` worker
+processes and completed points are memoised on disk, so re-running a
+target is pure cache hits and an interrupted sweep resumes from the
+points it already finished.
+
 ``report`` emits one versioned RunReport JSON document (see
 ``repro.metrics.report``) for a fully-instrumented spell-checker run.
 
 Environment knobs:
-  REPRO_SCALE    corpus scale factor (default 0.25; 1.0 = paper size)
-  REPRO_WINDOWS  comma-separated window counts (default 4..32 subset)
+  REPRO_SCALE      corpus scale factor (default 0.25; 1.0 = paper size)
+  REPRO_WINDOWS    comma-separated window counts (default 4..32 subset)
+  REPRO_JOBS       default worker count (else os.cpu_count())
+  REPRO_CACHE_DIR  result-cache root (else ~/.cache/repro-experiments)
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ import argparse
 import sys
 import time
 
+from repro.experiments.engine import Engine
 from repro.experiments.figures import (
     run_fig11,
     run_fig12,
@@ -36,9 +45,9 @@ FIGURES = {
 }
 
 
-def _emit_figure(name: str, windows, scale) -> None:
+def _emit_figure(name: str, windows, scale, engine) -> None:
     t0 = time.time()
-    result = FIGURES[name](windows=windows, scale=scale)
+    result = FIGURES[name](windows=windows, scale=scale, engine=engine)
     for granularity in GRANULARITIES:
         print(result.chart(granularity))
         print()
@@ -55,6 +64,14 @@ def main(argv=None) -> int:
                         help="corpus scale (1.0 = the paper's 40.5 kB)")
     parser.add_argument("--windows", type=str, default=None,
                         help="comma-separated window counts")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for sweep points "
+                             "(default: REPRO_JOBS or os.cpu_count())")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="result-cache root (default: REPRO_CACHE_DIR "
+                             "or ~/.cache/repro-experiments)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="run every point even if cached")
     parser.add_argument("--scheme", default="SP",
                         choices=["NS", "SNP", "SP"],
                         help="scheme for the report target")
@@ -80,16 +97,21 @@ def main(argv=None) -> int:
             print(to_json(report))
         return 0
 
+    engine = Engine.from_env(jobs=args.jobs, cache=not args.no_cache,
+                             cache_dir=args.cache_dir)
+
     targets = ([args.target] if args.target != "all"
                else ["table1", "table2"] + sorted(FIGURES))
     for target in targets:
         print("=" * 72)
         if target == "table1":
-            print(render_table1(run_table1(scale=args.scale)))
+            print(render_table1(run_table1(scale=args.scale,
+                                           engine=engine)))
         elif target == "table2":
-            print(render_table2(run_table2()))
+            print(render_table2(run_table2(engine=engine)))
         else:
-            _emit_figure(target, windows, args.scale)
+            _emit_figure(target, windows, args.scale, engine)
+        print(engine.last_stats.summary(engine.jobs))
         print()
     return 0
 

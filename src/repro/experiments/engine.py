@@ -1,0 +1,503 @@
+"""Parallel sweep engine with an on-disk content-addressed result cache.
+
+Every figure and table of the paper's evaluation is a sweep over
+(scheme x windows x granularity x concurrency).  The engine fans those
+points out over a ``multiprocessing`` worker pool and memoises each
+point's full RunReport (the ``repro.run-report`` v1 document) in a
+content-addressed store, so:
+
+* a sweep uses every core (``jobs=N``, default ``os.cpu_count()``);
+* an interrupted sweep resumes from the completed points — each
+  finished point is written (atomically) the moment it arrives, and a
+  later run executes only the missing keys;
+* a repeated sweep is pure cache hits and executes zero points;
+* cached sweeps double as regression artifacts: the payload is the
+  versioned RunReport JSON, diffable across PRs.
+
+Cache key = SHA-256 over the point parameters (scheme, windows,
+granularity, concurrency, scale, seed, policy) *plus* the calibrated
+cost-model constants, ``repro.__version__``, the RunReport schema
+version and a digest of the whole ``repro`` source tree — so editing
+any code that could move a result invalidates every stale entry by
+construction, with no mtime games.
+
+Determinism contract: the same :class:`PointSpec` produces a
+bit-identical RunReport regardless of worker count, execution order or
+cache state (the differential test layer enforces this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import traceback
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import __version__
+from repro.core.costs import CostModel
+from repro.experiments.harness import ExperimentPoint, run_report_point
+from repro.metrics.report import SCHEMA_VERSION, from_json, to_json
+
+CACHE_SCHEMA = "repro.sweep-cache"
+CACHE_VERSION = 1
+
+#: environment knobs understood by :func:`default_jobs` / :func:`default_cache_dir`
+ENV_JOBS = "REPRO_JOBS"
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def default_jobs() -> int:
+    """Worker-pool width: ``REPRO_JOBS`` if set, else ``os.cpu_count()``."""
+    raw = os.environ.get(ENV_JOBS)
+    if raw:
+        return max(1, int(raw))
+    return os.cpu_count() or 1
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-experiments``."""
+    raw = os.environ.get(ENV_CACHE_DIR)
+    if raw:
+        return Path(raw)
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "repro-experiments"
+
+
+def atomic_write_text(path, text: str) -> Path:
+    """Write ``text`` to ``path`` via temp-file-plus-rename so a parallel
+    or interrupted writer can never leave a truncated file behind."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                               prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+# ---------------------------------------------------------------------------
+# point specifications
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One sweep point: everything that determines a run's results."""
+
+    scheme: str
+    n_windows: int
+    concurrency: str
+    granularity: str
+    scale: float
+    seed: int = 1993
+    working_set: bool = False
+
+    @property
+    def label(self) -> str:
+        policy = "ws" if self.working_set else "fifo"
+        return "%s/w%d/%s/%s/%s" % (self.scheme, self.n_windows,
+                                    self.concurrency, self.granularity,
+                                    policy)
+
+    def to_payload(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "PointSpec":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})
+
+
+def cost_model_fingerprint(model: Optional[CostModel] = None) -> Dict[str, int]:
+    """The calibrated constants that feed every cycle count."""
+    return asdict(model if model is not None else CostModel())
+
+
+_SOURCE_DIGEST: Optional[str] = None
+
+
+def source_digest() -> str:
+    """SHA-256 over every ``repro`` source file (path + contents).
+
+    The version string alone can't be trusted for invalidation in a
+    development checkout — any edit to the simulator changes results
+    without touching ``__version__`` — so the digest makes *every*
+    code change re-key the cache.  Computed once per process.
+    """
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _SOURCE_DIGEST = digest.hexdigest()
+    return _SOURCE_DIGEST
+
+
+def cache_fingerprint() -> Dict[str, object]:
+    """Everything *besides* the point parameters that can change results."""
+    return {
+        "schema": CACHE_SCHEMA,
+        "cache_version": CACHE_VERSION,
+        "repro_version": __version__,
+        "report_version": SCHEMA_VERSION,
+        "source_digest": source_digest(),
+        "cost_model": cost_model_fingerprint(),
+    }
+
+
+def cache_key(spec: PointSpec,
+              fingerprint: Optional[Dict[str, object]] = None) -> str:
+    """Content address of one point's RunReport."""
+    doc = {"fingerprint": fingerprint or cache_fingerprint(),
+           "point": spec.to_payload()}
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def sweep_specs(concurrency: str, granularity: str,
+                windows: Sequence[int],
+                schemes: Sequence[str],
+                scale: float,
+                working_set: bool = False,
+                seed: int = 1993) -> List[PointSpec]:
+    """The (scheme x windows) grid for one figure series, skipping the
+    SP points below its 4-window minimum (same rule as the serial
+    :func:`~repro.experiments.harness.sweep_windows`)."""
+    specs = []
+    for scheme in schemes:
+        for n in windows:
+            if scheme == "SP" and n < 4:
+                continue
+            specs.append(PointSpec(scheme=scheme, n_windows=n,
+                                   concurrency=concurrency,
+                                   granularity=granularity, scale=scale,
+                                   seed=seed, working_set=working_set))
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# the on-disk store
+
+
+class ResultCache:
+    """Content-addressed RunReport store: ``objects/<k[:2]>/<k>.json``
+    plus a ``manifest.json`` describing the entries for humans.
+
+    The *objects* are the source of truth — checkpoint/resume works off
+    their presence alone, so a sweep killed between manifest updates
+    loses nothing.  All writes are temp-file-plus-rename atomic.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root).expanduser()
+        self.objects = self.root / "objects"
+
+    def _path(self, key: str) -> Path:
+        return self.objects / key[:2] / (key + ".json")
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        path = self._path(key)
+        if not path.is_file():
+            return None
+        try:
+            return from_json(path.read_text())
+        except (ValueError, OSError):
+            return None  # corrupt entry: treat as a miss, re-execute
+
+    def put(self, key: str, report: Dict[str, object]) -> None:
+        atomic_write_text(self._path(key), to_json(report))
+
+    def keys(self) -> List[str]:
+        if not self.objects.is_dir():
+            return []
+        return sorted(p.stem for p in self.objects.glob("*/*.json"))
+
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    def read_manifest(self) -> Dict[str, object]:
+        path = self.manifest_path()
+        if not path.is_file():
+            return {"schema": CACHE_SCHEMA, "version": CACHE_VERSION,
+                    "entries": {}}
+        try:
+            manifest = json.loads(path.read_text())
+        except (ValueError, OSError):
+            return {"schema": CACHE_SCHEMA, "version": CACHE_VERSION,
+                    "entries": {}}
+        if (manifest.get("schema") != CACHE_SCHEMA
+                or manifest.get("version") != CACHE_VERSION):
+            # layout change: the objects use a different addressing
+            # scheme, so forget them (keys no longer resolve anyway)
+            return {"schema": CACHE_SCHEMA, "version": CACHE_VERSION,
+                    "entries": {}}
+        manifest.setdefault("entries", {})
+        return manifest
+
+    def update_manifest(self, new_entries: Dict[str, Dict[str, object]],
+                        fingerprint: Dict[str, object]) -> None:
+        manifest = self.read_manifest()
+        manifest["fingerprint"] = fingerprint
+        manifest["entries"].update(new_entries)
+        atomic_write_text(self.manifest_path(),
+                          json.dumps(manifest, indent=2, sort_keys=True))
+
+
+# ---------------------------------------------------------------------------
+# execution
+
+
+def _execute_payload(task: Tuple[int, Dict[str, object]]):
+    """Worker-side entry point: run one point, return its report.
+
+    Module-level so it pickles under every multiprocessing start
+    method.  Returns ``(index, report, None)`` or ``(index, None,
+    formatted_traceback)`` — exceptions never cross the pipe raw.
+    """
+    index, payload = task
+    try:
+        spec = PointSpec.from_payload(payload)
+        report = run_report_point(
+            spec.scheme, spec.n_windows, spec.concurrency,
+            spec.granularity, scale=spec.scale,
+            working_set=spec.working_set, seed=spec.seed)
+        return index, report, None
+    except Exception:
+        return index, None, traceback.format_exc()
+
+
+@dataclass
+class PointFailure:
+    """One point that kept failing after every retry."""
+
+    spec: PointSpec
+    attempts: int
+    traceback: str
+
+
+@dataclass
+class EngineStats:
+    """What one :meth:`Engine.run_reports` call did."""
+
+    total: int = 0
+    hits: int = 0
+    executed: int = 0
+    retried: int = 0
+    failures: List[PointFailure] = field(default_factory=list)
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def summary(self, jobs: int) -> str:
+        return ("engine: %d points — %d cached (%d%%), %d executed, "
+                "%d failed [jobs=%d]"
+                % (self.total, self.hits, round(100 * self.hit_ratio),
+                   self.executed, len(self.failures), jobs))
+
+
+class EngineError(RuntimeError):
+    """Raised when points still fail after per-point retries."""
+
+    def __init__(self, failures: List[PointFailure]) -> None:
+        self.failures = failures
+        lines = ["%d sweep point(s) failed:" % len(failures)]
+        for failure in failures:
+            last = failure.traceback.strip().splitlines()[-1]
+            lines.append("  %s (after %d attempt(s)): %s"
+                         % (failure.spec.label, failure.attempts, last))
+        super().__init__("\n".join(lines))
+
+
+class Engine:
+    """Fan sweep points over a worker pool, memoising RunReports.
+
+    ``jobs``       pool width; 1 runs in-process (no pool, no fork).
+    ``cache_dir``  result-store root; ``None`` disables caching.
+    ``retries``    extra serial attempts per failed point before the
+                   run raises :class:`EngineError`.
+    ``progress``   optional callback ``(phase, done, total, spec)``
+                   with phase in {"hit", "done", "retry", "fail"}.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, cache_dir=None,
+                 retries: int = 1,
+                 progress: Optional[Callable] = None,
+                 runner: Optional[Callable] = None) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, jobs)
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.retries = max(0, retries)
+        self.progress = progress
+        self._runner = runner or _execute_payload
+        self.last_stats = EngineStats()
+
+    @classmethod
+    def from_env(cls, jobs: Optional[int] = None, cache: bool = True,
+                 cache_dir=None, **kwargs) -> "Engine":
+        """CLI-flavoured constructor: env-default jobs and cache dir."""
+        if cache and cache_dir is None:
+            cache_dir = default_cache_dir()
+        return cls(jobs=jobs, cache_dir=cache_dir if cache else None,
+                   **kwargs)
+
+    # -- core ---------------------------------------------------------------
+
+    def run_reports(self, specs: Sequence[PointSpec]) -> List[Dict]:
+        """Run every spec (cache, then pool) and return the RunReports
+        in spec order.  Statistics land on :attr:`last_stats`."""
+        specs = list(specs)
+        stats = EngineStats(total=len(specs))
+        self.last_stats = stats
+        fingerprint = cache_fingerprint()
+        keys = [cache_key(spec, fingerprint) for spec in specs]
+        reports: List[Optional[Dict]] = [None] * len(specs)
+
+        pending: List[int] = []
+        for i, key in enumerate(keys):
+            cached = self.cache.get(key) if self.cache else None
+            if cached is not None:
+                reports[i] = cached
+                stats.hits += 1
+                self._notify("hit", stats, specs[i])
+            else:
+                pending.append(i)
+
+        new_entries: Dict[str, Dict[str, object]] = {}
+
+        def commit(i: int, report: Dict) -> None:
+            reports[i] = report
+            stats.executed += 1
+            if self.cache:
+                # written the moment the point lands, so an interrupted
+                # sweep resumes from here instead of from scratch
+                self.cache.put(keys[i], report)
+                new_entries[keys[i]] = specs[i].to_payload()
+            self._notify("done", stats, specs[i])
+
+        failed: List[Tuple[int, str]] = []
+        if pending:
+            tasks = [(i, specs[i].to_payload()) for i in pending]
+            if self.jobs > 1 and len(tasks) > 1:
+                import multiprocessing
+
+                methods = multiprocessing.get_all_start_methods()
+                ctx = multiprocessing.get_context(
+                    "fork" if "fork" in methods else "spawn")
+                with ctx.Pool(min(self.jobs, len(tasks))) as pool:
+                    for i, report, err in pool.imap_unordered(
+                            self._runner, tasks):
+                        if err is None:
+                            commit(i, report)
+                        else:
+                            failed.append((i, err))
+            else:
+                for task in tasks:
+                    i, report, err = self._runner(task)
+                    if err is None:
+                        commit(i, report)
+                    else:
+                        failed.append((i, err))
+
+        failures: List[PointFailure] = []
+        for i, err in failed:
+            attempts = 1
+            report = None
+            while report is None and attempts <= self.retries:
+                stats.retried += 1
+                self._notify("retry", stats, specs[i])
+                attempts += 1
+                __, report, err = self._runner((i, specs[i].to_payload()))
+            if report is not None:
+                commit(i, report)
+            else:
+                failures.append(PointFailure(specs[i], attempts, err))
+                self._notify("fail", stats, specs[i])
+
+        if self.cache and new_entries:
+            self.cache.update_manifest(new_entries, fingerprint)
+        if failures:
+            stats.failures = failures
+            raise EngineError(failures)
+        return reports  # type: ignore[return-value]
+
+    def run_points(self, specs: Sequence[PointSpec]) -> List[ExperimentPoint]:
+        """Like :meth:`run_reports` but summarised to the
+        :class:`ExperimentPoint` the figures/tables plot."""
+        return [point_from_report(r) for r in self.run_reports(specs)]
+
+    # -- helpers ------------------------------------------------------------
+
+    def _notify(self, phase: str, stats: EngineStats,
+                spec: PointSpec) -> None:
+        if self.progress is not None:
+            self.progress(phase, stats.hits + stats.executed,
+                          stats.total, spec)
+
+
+def point_from_report(report: Dict) -> ExperimentPoint:
+    """Project a RunReport back onto the harness's ExperimentPoint.
+
+    Field-for-field identical to what :func:`~repro.experiments.
+    harness.run_point` computes from the live counters — the
+    differential tests assert the equality for the whole grid.
+    """
+    config = report["config"]
+    c = report["counters"]
+    names = {str(t["tid"]): t["name"] for t in report["threads"]}
+    executed = c["saves"] + c["restores"]
+    traps = c["overflow_traps"] + c["underflow_traps"]
+    switches = c["context_switches"]
+    return ExperimentPoint(
+        scheme=config["scheme"],
+        n_windows=config["n_windows"],
+        concurrency=config["concurrency"],
+        granularity=config["granularity"],
+        policy=config["policy"],
+        total_cycles=c["total_cycles"],
+        switch_cycles=c["switch_cycles"],
+        trap_cycles=c["trap_cycles"],
+        compute_cycles=c["compute_cycles"],
+        context_switches=switches,
+        avg_switch_cycles=(c["switch_cycles"] / switches
+                           if switches else 0.0),
+        saves=c["saves"],
+        restores=c["restores"],
+        overflow_traps=c["overflow_traps"],
+        underflow_traps=c["underflow_traps"],
+        trap_probability=traps / executed if executed else 0.0,
+        per_thread_switches={
+            names[tid]: n
+            for tid, n in c["per_thread_switches"].items()},
+        per_thread_saves={
+            names[tid]: n for tid, n in c["per_thread_saves"].items()},
+        output_bytes=config["output_bytes"],
+    )
+
+
+def transfer_histogram_from_report(report: Dict) -> Dict[Tuple[int, int], int]:
+    """Parse ``counters.switch_transfer_hist`` back to tuple keys."""
+    out: Dict[Tuple[int, int], int] = {}
+    for key, count in report["counters"]["switch_transfer_hist"].items():
+        saves, restores = key.split(",")
+        out[(int(saves), int(restores))] = count
+    return out

@@ -58,55 +58,77 @@ def _sweep_figure(figure: str, ylabel: str, concurrency: str,
                   metric, windows: Optional[Sequence[int]],
                   scale: Optional[float], working_set: bool,
                   granularities: Sequence[str] = GRANULARITIES,
-                  schemes: Sequence[str] = SCHEMES) -> FigureResult:
-    series: Series = {}
+                  schemes: Sequence[str] = SCHEMES,
+                  engine=None) -> FigureResult:
+    """Fan the whole (granularity x scheme x windows) grid of one
+    figure through the sweep engine as a single batch, so every point
+    runs concurrently (and cached points are skipped), then regroup
+    into the labelled series the paper plots."""
+    from repro.experiments.engine import Engine, sweep_specs
+    from repro.experiments.harness import env_scale, env_windows
+
+    if windows is None:
+        windows = env_windows()
+    if scale is None:
+        scale = env_scale()
+    if engine is None:
+        engine = Engine(jobs=1, cache_dir=None)
+    specs = []
     for granularity in granularities:
-        swept = sweep_windows(concurrency, granularity, windows=windows,
-                              schemes=schemes, scale=scale,
-                              working_set=working_set)
-        for scheme, points in swept.items():
-            series["%s/%s" % (scheme, granularity)] = [
-                (p.n_windows, metric(p)) for p in points]
+        specs.extend(sweep_specs(concurrency, granularity, windows,
+                                 schemes, scale,
+                                 working_set=working_set))
+    points = engine.run_points(specs)
+    series: Series = {"%s/%s" % (s, g): []
+                      for g in granularities for s in schemes}
+    for spec, point in zip(specs, points):
+        series["%s/%s" % (spec.scheme, spec.granularity)].append(
+            (point.n_windows, metric(point)))
     return FigureResult(figure, ylabel, series)
 
 
 def run_fig11(windows: Optional[Sequence[int]] = None,
-              scale: Optional[float] = None) -> FigureResult:
+              scale: Optional[float] = None, engine=None) -> FigureResult:
     """Execution time at high concurrency (paper Figure 11)."""
     return _sweep_figure(
         "Figure 11 (high concurrency)", "execution time (cycles)",
-        "high", lambda p: p.total_cycles, windows, scale, False)
+        "high", lambda p: p.total_cycles, windows, scale, False,
+        engine=engine)
 
 
 def run_fig12(windows: Optional[Sequence[int]] = None,
-              scale: Optional[float] = None) -> FigureResult:
+              scale: Optional[float] = None, engine=None) -> FigureResult:
     """Average context-switch time at high concurrency (Figure 12)."""
     return _sweep_figure(
         "Figure 12 (high concurrency)", "avg switch time (cycles)",
-        "high", lambda p: p.avg_switch_cycles, windows, scale, False)
+        "high", lambda p: p.avg_switch_cycles, windows, scale, False,
+        engine=engine)
 
 
 def run_fig13(windows: Optional[Sequence[int]] = None,
-              scale: Optional[float] = None) -> FigureResult:
+              scale: Optional[float] = None, engine=None) -> FigureResult:
     """Probability of window traps at high concurrency (Figure 13)."""
     return _sweep_figure(
         "Figure 13 (high concurrency)", "trap probability",
-        "high", lambda p: p.trap_probability, windows, scale, False)
+        "high", lambda p: p.trap_probability, windows, scale, False,
+        engine=engine)
 
 
 def run_fig14(windows: Optional[Sequence[int]] = None,
-              scale: Optional[float] = None) -> FigureResult:
+              scale: Optional[float] = None, engine=None) -> FigureResult:
     """Execution time at low concurrency (Figure 14)."""
     return _sweep_figure(
         "Figure 14 (low concurrency)", "execution time (cycles)",
-        "low", lambda p: p.total_cycles, windows, scale, False)
+        "low", lambda p: p.total_cycles, windows, scale, False,
+        engine=engine)
 
 
 def run_fig15(windows: Optional[Sequence[int]] = None,
-              scale: Optional[float] = None) -> FigureResult:
+              scale: Optional[float] = None, engine=None) -> FigureResult:
     """Execution time at high concurrency with the working-set
     scheduling policy (Figure 15)."""
     return _sweep_figure(
         "Figure 15 (high concurrency, working set)",
         "execution time (cycles)",
-        "high", lambda p: p.total_cycles, windows, scale, True)
+        "high", lambda p: p.total_cycles, windows, scale, True,
+        engine=engine)

@@ -144,11 +144,30 @@ def sweep_windows(concurrency: str, granularity: str,
                   schemes: Sequence[str] = SCHEMES,
                   scale: Optional[float] = None,
                   working_set: bool = False,
-                  seed: int = 1993) -> Dict[str, List[ExperimentPoint]]:
-    """Run every scheme over a window-count sweep."""
+                  seed: int = 1993,
+                  engine=None) -> Dict[str, List[ExperimentPoint]]:
+    """Run every scheme over a window-count sweep.
+
+    With an :class:`~repro.experiments.engine.Engine` the grid fans out
+    over its worker pool and result cache; without one each point runs
+    serially in-process (the reference path the differential tests
+    compare the engine against).
+    """
     if windows is None:
         windows = env_windows()
-    out: Dict[str, List[ExperimentPoint]] = {}
+    if scale is None:
+        scale = env_scale()
+    if engine is not None:
+        from repro.experiments.engine import sweep_specs
+
+        specs = sweep_specs(concurrency, granularity, windows, schemes,
+                            scale, working_set=working_set, seed=seed)
+        points = engine.run_points(specs)
+        out: Dict[str, List[ExperimentPoint]] = {s: [] for s in schemes}
+        for spec, point in zip(specs, points):
+            out[spec.scheme].append(point)
+        return out
+    out = {}
     for scheme in schemes:
         pts = []
         for n in windows:

@@ -46,15 +46,30 @@ class Table1Result:
 
 
 def run_table1(scale: Optional[float] = None,
-               scheme: str = "SP") -> Table1Result:
+               scheme: str = "SP", engine=None) -> Table1Result:
     """Measure all six configurations (FIFO; counts are scheme-
-    independent, which the test suite verifies separately)."""
+    independent, which the test suite verifies separately).
+
+    With an engine the six configuration runs fan out over its worker
+    pool / cache; without one they run serially in-process.
+    """
     if scale is None:
         scale = env_scale()
     switches: Dict[Tuple[str, str], Dict[str, int]] = {}
     saves: Dict[str, int] = {}
-    for concurrency, granularity in CONFIGS:
-        point = run_point(scheme, 12, concurrency, granularity, scale=scale)
+    if engine is not None:
+        from repro.experiments.engine import PointSpec
+
+        specs = [PointSpec(scheme=scheme, n_windows=12,
+                           concurrency=concurrency,
+                           granularity=granularity, scale=scale)
+                 for concurrency, granularity in CONFIGS]
+        points = engine.run_points(specs)
+    else:
+        points = [run_point(scheme, 12, concurrency, granularity,
+                            scale=scale)
+                  for concurrency, granularity in CONFIGS]
+    for (concurrency, granularity), point in zip(CONFIGS, points):
         switches[(concurrency, granularity)] = point.per_thread_switches
         saves = point.per_thread_saves  # identical across configs
     return Table1Result(switches, saves, scale)

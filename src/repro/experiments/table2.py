@@ -30,15 +30,28 @@ class Table2Result:
 
 
 def run_table2(scale: Optional[float] = None,
-               cost_model: Optional[CostModel] = None) -> Table2Result:
+               cost_model: Optional[CostModel] = None,
+               engine=None) -> Table2Result:
+    """Model-derived rows plus the empirical histograms; the three
+    per-scheme spell-checker runs go through the sweep engine (a
+    serial, uncached one when the caller passes none)."""
+    from repro.experiments.engine import (
+        Engine,
+        PointSpec,
+        transfer_histogram_from_report,
+    )
+
     model = cost_model if cost_model is not None else CostModel()
     rows = model.table2_check()
-    observed: Dict[str, Dict[Tuple[int, int], int]] = {}
-    from repro.apps.spellcheck import SpellConfig, run_spellchecker
-    for scheme in ("NS", "SNP", "SP"):
-        config = SpellConfig.named("high", "medium", scale=scale or 0.05)
-        result, __ = run_spellchecker(7, scheme, config)
-        observed[scheme] = result.counters.transfer_histogram()
+    if engine is None:
+        engine = Engine(jobs=1, cache_dir=None)
+    specs = [PointSpec(scheme=scheme, n_windows=7, concurrency="high",
+                       granularity="medium", scale=scale or 0.05)
+             for scheme in ("NS", "SNP", "SP")]
+    reports = engine.run_reports(specs)
+    observed: Dict[str, Dict[Tuple[int, int], int]] = {
+        spec.scheme: transfer_histogram_from_report(report)
+        for spec, report in zip(specs, reports)}
     return Table2Result(rows, observed)
 
 

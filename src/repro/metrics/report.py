@@ -153,7 +153,24 @@ def from_json(text: str) -> Dict[str, Any]:
 
 
 def write_report(report: Dict[str, Any], path: str) -> str:
-    """Write a report to ``path`` as JSON; returns the path."""
-    with open(path, "w") as handle:
-        handle.write(to_json(report))
+    """Write a report to ``path`` as JSON, atomically (temp file +
+    rename), so parallel or interrupted writers can never leave a
+    truncated document behind; returns the path."""
+    import os
+    import tempfile
+
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(path) + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(to_json(report))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return path

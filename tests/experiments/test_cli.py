@@ -5,11 +5,19 @@ import pytest
 from repro.experiments.__main__ import main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI sweeps out of the user-level result cache; also
+    exercises the REPRO_CACHE_DIR knob the engine documents."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
 def test_table2_target(capsys):
     assert main(["table2"]) == 0
     out = capsys.readouterr().out
     assert "Table 2" in out
     assert "145 - 149" in out
+    assert "engine: 3 points" in out
 
 
 def test_figure_target_with_tiny_sweep(capsys):
@@ -24,6 +32,29 @@ def test_table1_target(capsys):
     out = capsys.readouterr().out
     assert "T6.dict1" in out
     assert "paper" in out
+
+
+def test_repeated_figure_run_is_pure_cache_hits(capsys):
+    args = ["fig12", "--scale", "0.02", "--windows", "4,6",
+            "--jobs", "2"]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "18 executed" in first
+    assert main(args) == 0
+    second = capsys.readouterr().out
+    assert "18 cached (100%), 0 executed" in second
+    # the cached run renders the identical figure (everything up to
+    # the wall-clock line)
+    assert (first.split("(fig12 computed")[0]
+            == second.split("(fig12 computed")[0])
+
+
+def test_no_cache_forces_execution(capsys):
+    args = ["fig13", "--scale", "0.02", "--windows", "4", "--no-cache"]
+    assert main(args) == 0
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "0 cached (0%), 9 executed" in out
 
 
 def test_unknown_target_rejected():

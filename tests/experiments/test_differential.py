@@ -1,0 +1,118 @@
+"""Differential tests: the engine's parallel and cached paths must be
+bit-identical to the direct serial harness, and the three schemes must
+agree on every architectural result while differing only in
+window-traffic counters.
+
+The grid here is a reduced version of the paper's sweep — two window
+counts x two (concurrency, granularity) corners x all three schemes —
+small enough for CI, wide enough to cross the overflow/underflow
+regimes (4 windows thrashes, 8 mostly fits).
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments.engine import Engine, PointSpec
+from repro.experiments.harness import run_point
+from repro.metrics.report import to_json
+
+SCALE = 0.02
+GRID = [
+    PointSpec(scheme, n_windows, concurrency, granularity, SCALE)
+    for concurrency, granularity in (("high", "fine"), ("low", "coarse"))
+    for n_windows in (4, 8)
+    for scheme in ("NS", "SNP", "SP")
+]
+
+#: ExperimentPoint fields the schemes may legitimately disagree on:
+#: everything driven by how windows physically move, and nothing else.
+TRAFFIC_FIELDS = {
+    "scheme", "total_cycles", "switch_cycles", "trap_cycles",
+    "avg_switch_cycles", "overflow_traps", "underflow_traps",
+    "trap_probability",
+}
+
+
+@pytest.fixture(scope="module")
+def direct_points():
+    """The reference path: plain serial run_point, no engine."""
+    return [run_point(s.scheme, s.n_windows, s.concurrency,
+                      s.granularity, scale=s.scale) for s in GRID]
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("sweep-cache")
+
+
+@pytest.fixture(scope="module")
+def parallel_engine(cache_dir):
+    """A 2-worker engine whose first run populates the shared cache."""
+    engine = Engine(jobs=2, cache_dir=cache_dir)
+    engine.run_reports(GRID)
+    assert engine.last_stats.executed == len(GRID)
+    return engine
+
+
+class TestEngineMatchesSerial:
+    def test_parallel_equals_direct(self, parallel_engine, direct_points):
+        assert parallel_engine.run_points(GRID) == direct_points
+
+    def test_cached_equals_direct(self, parallel_engine, direct_points,
+                                  cache_dir):
+        fresh = Engine(jobs=1, cache_dir=cache_dir)
+        points = fresh.run_points(GRID)
+        assert fresh.last_stats.hits == len(GRID)
+        assert fresh.last_stats.executed == 0
+        assert points == direct_points
+
+    def test_serial_engine_equals_direct(self, direct_points):
+        engine = Engine(jobs=1, cache_dir=None)
+        assert engine.run_points(GRID) == direct_points
+
+    def test_reports_bit_identical_across_worker_counts(
+            self, parallel_engine, cache_dir):
+        """The determinism contract at the artifact level: the cached
+        documents (produced by 2 workers) serialize byte-for-byte the
+        same as a fresh serial in-process run."""
+        cached = Engine(jobs=1, cache_dir=cache_dir).run_reports(GRID)
+        serial = Engine(jobs=1, cache_dir=None).run_reports(GRID)
+        for spec, a, b in zip(GRID, cached, serial):
+            assert to_json(a) == to_json(b), spec.label
+
+
+class TestSchemesAgreeArchitecturally:
+    def by_config(self, points):
+        grouped = {}
+        for point in points:
+            key = (point.n_windows, point.concurrency, point.granularity)
+            grouped.setdefault(key, {})[point.scheme] = asdict(point)
+        return grouped
+
+    def test_architectural_results_identical(self, direct_points):
+        """Same program, same schedule: NS, SNP and SP must execute the
+        identical instruction stream — same spellcheck output, same
+        per-thread save/switch counts — at every grid point."""
+        for key, by_scheme in self.by_config(direct_points).items():
+            assert set(by_scheme) == {"NS", "SNP", "SP"}, key
+            ns, snp, sp = (by_scheme[s] for s in ("NS", "SNP", "SP"))
+            for field in ("output_bytes", "saves", "restores",
+                          "compute_cycles", "context_switches",
+                          "per_thread_saves", "per_thread_switches"):
+                assert ns[field] == snp[field] == sp[field], (key, field)
+
+    def test_schemes_differ_only_in_window_traffic(self, direct_points):
+        for key, by_scheme in self.by_config(direct_points).items():
+            schemes = list(by_scheme.values())
+            for a, b in zip(schemes, schemes[1:]):
+                differing = {f for f in a if a[f] != b[f]}
+                assert differing <= TRAFFIC_FIELDS, (key, differing)
+
+    def test_window_traffic_does_differ(self, direct_points):
+        """The schemes are not accidentally identical: at the
+        4-window thrashing corner their cycle totals must diverge."""
+        grouped = self.by_config(direct_points)
+        thrash = grouped[(4, "high", "fine")]
+        totals = {s: p["total_cycles"] for s, p in thrash.items()}
+        assert len(set(totals.values())) > 1, totals

@@ -1,0 +1,239 @@
+"""The parallel cached sweep engine: keys, store, stats, retry, resume."""
+
+import json
+
+import pytest
+
+from repro.experiments.engine import (
+    CACHE_SCHEMA,
+    Engine,
+    EngineError,
+    PointSpec,
+    ResultCache,
+    atomic_write_text,
+    cache_fingerprint,
+    cache_key,
+    sweep_specs,
+)
+from repro.metrics.report import SCHEMA_NAME, SCHEMA_VERSION
+
+SPEC = PointSpec("SP", 8, "high", "fine", 0.02)
+
+
+def fake_report(spec: PointSpec) -> dict:
+    """A minimal document that passes RunReport validation, derived
+    deterministically from the spec so cache round-trips are checkable."""
+    return {
+        "schema": SCHEMA_NAME,
+        "version": SCHEMA_VERSION,
+        "config": spec.to_payload(),
+        "counters": {"total_cycles": spec.n_windows * 100},
+        "threads": [],
+    }
+
+
+def fake_runner(task):
+    index, payload = task
+    return index, fake_report(PointSpec.from_payload(payload)), None
+
+
+def failing_runner(task):
+    index, __ = task
+    return index, None, "Traceback ...\nRuntimeError: point exploded\n"
+
+
+class TestCacheKey:
+    def test_stable_for_equal_specs(self):
+        assert cache_key(SPEC) == cache_key(
+            PointSpec("SP", 8, "high", "fine", 0.02))
+
+    def test_every_spec_field_is_significant(self):
+        variants = [
+            PointSpec("SNP", 8, "high", "fine", 0.02),
+            PointSpec("SP", 9, "high", "fine", 0.02),
+            PointSpec("SP", 8, "low", "fine", 0.02),
+            PointSpec("SP", 8, "high", "coarse", 0.02),
+            PointSpec("SP", 8, "high", "fine", 0.03),
+            PointSpec("SP", 8, "high", "fine", 0.02, seed=7),
+            PointSpec("SP", 8, "high", "fine", 0.02, working_set=True),
+        ]
+        keys = {cache_key(v) for v in variants} | {cache_key(SPEC)}
+        assert len(keys) == len(variants) + 1
+
+    def test_fingerprint_invalidates(self):
+        """Bumping the package version, the report schema or any cost
+        constant re-keys every entry (the invalidation rule)."""
+        base = cache_fingerprint()
+        for mutate in (
+            lambda fp: fp.update(repro_version="999.0"),
+            lambda fp: fp.update(report_version=SCHEMA_VERSION + 1),
+            lambda fp: fp["cost_model"].update(ns_per_save=1),
+        ):
+            fp = json.loads(json.dumps(base))
+            mutate(fp)
+            assert cache_key(SPEC, fp) != cache_key(SPEC, base)
+
+    def test_fingerprint_covers_cost_model(self):
+        assert "ns_per_save" in cache_fingerprint()["cost_model"]
+
+    def test_fingerprint_covers_source_tree(self):
+        """Editing any simulator source re-keys the cache, even with
+        an unchanged version string."""
+        fp = cache_fingerprint()
+        assert len(fp["source_digest"]) == 64
+        mutated = json.loads(json.dumps(fp))
+        mutated["source_digest"] = "0" * 64
+        assert cache_key(SPEC, mutated) != cache_key(SPEC, fp)
+
+
+class TestAtomicWrite:
+    def test_writes_and_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "deep" / "out.json"
+        atomic_write_text(target, "hello")
+        assert target.read_text() == "hello"
+        atomic_write_text(target, "replaced")
+        assert target.read_text() == "replaced"
+        assert [p.name for p in target.parent.iterdir()] == ["out.json"]
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(SPEC)
+        assert key not in cache
+        cache.put(key, fake_report(SPEC))
+        assert key in cache
+        assert cache.get(key) == fake_report(SPEC)
+        assert cache.keys() == [key]
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(SPEC)
+        cache.put(key, fake_report(SPEC))
+        path = cache._path(key)
+        path.write_text(path.read_text()[:17])  # truncate
+        assert cache.get(key) is None
+
+    def test_manifest_merge_and_layout_invalidation(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fp = cache_fingerprint()
+        cache.update_manifest({"k1": SPEC.to_payload()}, fp)
+        cache.update_manifest({"k2": SPEC.to_payload()}, fp)
+        manifest = cache.read_manifest()
+        assert set(manifest["entries"]) == {"k1", "k2"}
+        assert manifest["schema"] == CACHE_SCHEMA
+        # a future layout bump forgets the old entries
+        manifest["version"] = 999
+        atomic_write_text(cache.manifest_path(), json.dumps(manifest))
+        assert cache.read_manifest()["entries"] == {}
+
+
+class TestEngine:
+    def grid(self):
+        return sweep_specs("high", "fine", [4, 6, 8], ("NS", "SP"), 0.02)
+
+    def test_results_in_spec_order(self, tmp_path):
+        engine = Engine(jobs=1, cache_dir=tmp_path, runner=fake_runner)
+        specs = self.grid()
+        reports = engine.run_reports(specs)
+        assert [r["config"] for r in reports] == [
+            s.to_payload() for s in specs]
+        assert engine.last_stats.executed == len(specs)
+        assert engine.last_stats.hits == 0
+
+    def test_second_run_is_pure_cache_hits(self, tmp_path):
+        specs = self.grid()
+        Engine(jobs=1, cache_dir=tmp_path, runner=fake_runner)\
+            .run_reports(specs)
+        engine = Engine(jobs=1, cache_dir=tmp_path, runner=failing_runner)
+        reports = engine.run_reports(specs)  # runner never consulted
+        assert engine.last_stats.hits == len(specs)
+        assert engine.last_stats.executed == 0
+        assert engine.last_stats.hit_ratio == 1.0
+        assert reports[0]["config"] == specs[0].to_payload()
+
+    def test_resume_executes_only_missing_points(self, tmp_path):
+        """Checkpoint/resume: drop one object from an interrupted
+        sweep's cache and only that point re-runs."""
+        specs = self.grid()
+        engine = Engine(jobs=1, cache_dir=tmp_path, runner=fake_runner)
+        engine.run_reports(specs)
+        victim = specs[2]
+        engine.cache._path(cache_key(victim)).unlink()
+        engine.run_reports(specs)
+        assert engine.last_stats.executed == 1
+        assert engine.last_stats.hits == len(specs) - 1
+        assert cache_key(victim) in engine.cache
+
+    def test_no_cache_dir_always_executes(self):
+        engine = Engine(jobs=1, cache_dir=None, runner=fake_runner)
+        engine.run_reports([SPEC])
+        engine.run_reports([SPEC])
+        assert engine.last_stats.executed == 1
+        assert engine.last_stats.hits == 0
+
+    def test_retry_recovers_flaky_point(self, tmp_path):
+        attempts = []
+
+        def flaky(task):
+            attempts.append(task[0])
+            if len(attempts) == 1:
+                return task[0], None, "Traceback ...\nOSError: flake\n"
+            return fake_runner(task)
+
+        engine = Engine(jobs=1, cache_dir=tmp_path, retries=1,
+                        runner=flaky)
+        reports = engine.run_reports([SPEC])
+        assert reports[0] == fake_report(SPEC)
+        assert engine.last_stats.retried == 1
+        assert engine.last_stats.executed == 1
+
+    def test_persistent_failure_raises_with_labels(self):
+        engine = Engine(jobs=1, cache_dir=None, retries=1,
+                        runner=failing_runner)
+        with pytest.raises(EngineError) as exc:
+            engine.run_reports([SPEC])
+        assert SPEC.label in str(exc.value)
+        assert "point exploded" in str(exc.value)
+        assert len(engine.last_stats.failures) == 1
+        assert engine.last_stats.failures[0].attempts == 2
+
+    def test_pool_path_preserves_order(self, tmp_path):
+        specs = self.grid()
+        engine = Engine(jobs=2, cache_dir=tmp_path, runner=fake_runner)
+        reports = engine.run_reports(specs)
+        assert [r["config"] for r in reports] == [
+            s.to_payload() for s in specs]
+
+    def test_progress_callback_phases(self, tmp_path):
+        events = []
+
+        def progress(phase, done, total, spec):
+            events.append((phase, done, total))
+
+        engine = Engine(jobs=1, cache_dir=tmp_path, runner=fake_runner,
+                        progress=progress)
+        engine.run_reports([SPEC])
+        engine.run_reports([SPEC])
+        assert events == [("done", 1, 1), ("hit", 1, 1)]
+
+    def test_stats_summary_is_greppable(self, tmp_path):
+        engine = Engine(jobs=3, cache_dir=tmp_path, runner=fake_runner)
+        specs = self.grid()
+        engine.run_reports(specs)
+        engine.run_reports(specs)
+        line = engine.last_stats.summary(engine.jobs)
+        assert "%d cached (100%%)" % len(specs) in line
+        assert "0 executed" in line
+
+
+class TestSweepSpecs:
+    def test_sp_minimum_windows(self):
+        specs = sweep_specs("high", "fine", [3, 4], ("SP", "SNP"), 0.02)
+        assert [(s.scheme, s.n_windows) for s in specs] == [
+            ("SP", 4), ("SNP", 3), ("SNP", 4)]
+
+    def test_labels_unique(self):
+        specs = sweep_specs("high", "fine", [4, 8], ("NS", "SNP", "SP"),
+                            0.02)
+        assert len({s.label for s in specs}) == len(specs)

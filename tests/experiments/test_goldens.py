@@ -1,0 +1,116 @@
+"""Golden regression tests: a small committed grid of figure/table
+values that must not drift.
+
+Any change to the simulator, the schemes, the cost model or the
+spell-checker workload that moves a single counter on the small grid
+fails here with a readable per-point diff.  When a drift is intended
+(e.g. a deliberate cost-model recalibration), regenerate with::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/experiments/test_goldens.py
+
+and commit the updated ``tests/experiments/goldens/small_grid.json``
+alongside the change that explains it.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.experiments.engine import Engine, PointSpec, atomic_write_text
+
+GOLDENS = Path(__file__).parent / "goldens" / "small_grid.json"
+UPDATE_ENV = "REPRO_UPDATE_GOLDENS"
+
+SCALE = 0.02
+SEED = 1993
+GRID = [
+    PointSpec(scheme, n_windows, concurrency, granularity, SCALE,
+              seed=SEED)
+    for concurrency, granularity in (("high", "fine"), ("low", "coarse"))
+    for n_windows in (5, 8)
+    for scheme in ("NS", "SNP", "SP")
+]
+
+#: the integer-valued ExperimentPoint fields the goldens pin (floats
+#: like trap_probability are quotients of these, so they are covered)
+METRICS = ("total_cycles", "switch_cycles", "trap_cycles",
+           "compute_cycles", "context_switches", "saves", "restores",
+           "overflow_traps", "underflow_traps", "output_bytes")
+
+
+def compute_goldens() -> dict:
+    engine = Engine(jobs=1, cache_dir=None)
+    points = engine.run_points(GRID)
+    doc = {
+        "schema": "repro.goldens",
+        "version": 1,
+        "scale": SCALE,
+        "seed": SEED,
+        "points": {
+            spec.label: {m: getattr(point, m) for m in METRICS}
+            for spec, point in zip(GRID, points)},
+        "table2_model": {
+            "%s/%d/%d" % (row.scheme, row.saves, row.restores): value
+            for row, value, __ in CostModel().table2_check()},
+    }
+    return doc
+
+
+def diff_goldens(expected: dict, actual: dict) -> list:
+    lines = []
+    for section in ("points", "table2_model"):
+        exp, act = expected.get(section, {}), actual.get(section, {})
+        for label in sorted(set(exp) | set(act)):
+            if label not in exp:
+                lines.append("%s %s: not in goldens (new point?)"
+                             % (section, label))
+            elif label not in act:
+                lines.append("%s %s: missing from this run"
+                             % (section, label))
+            elif exp[label] != act[label]:
+                if isinstance(exp[label], dict):
+                    for metric in sorted(exp[label]):
+                        if exp[label][metric] != act[label].get(metric):
+                            lines.append(
+                                "%s %s.%s: golden %r, got %r"
+                                % (section, label, metric,
+                                   exp[label][metric],
+                                   act[label].get(metric)))
+                else:
+                    lines.append("%s %s: golden %r, got %r"
+                                 % (section, label, exp[label],
+                                    act[label]))
+    return lines
+
+
+def test_small_grid_matches_goldens():
+    actual = compute_goldens()
+    if os.environ.get(UPDATE_ENV):
+        atomic_write_text(GOLDENS, json.dumps(actual, indent=2,
+                                              sort_keys=True) + "\n")
+        pytest.skip("goldens regenerated at %s — commit the diff"
+                    % GOLDENS)
+    assert GOLDENS.is_file(), (
+        "no goldens committed; run with %s=1 to create %s"
+        % (UPDATE_ENV, GOLDENS))
+    expected = json.loads(GOLDENS.read_text())
+    drift = diff_goldens(expected, actual)
+    assert not drift, (
+        "%d golden value(s) drifted (set %s=1 to regenerate "
+        "if intended):\n  %s"
+        % (len(drift), UPDATE_ENV, "\n  ".join(drift)))
+
+
+def test_goldens_file_is_complete():
+    """The committed file covers the whole declared grid — a partial
+    regeneration can't silently shrink coverage."""
+    expected = json.loads(GOLDENS.read_text())
+    assert expected["schema"] == "repro.goldens"
+    assert set(expected["points"]) == {spec.label for spec in GRID}
+    assert len(expected["table2_model"]) == len(CostModel().table2_check())
+    for metrics in expected["points"].values():
+        assert set(metrics) == set(METRICS)

@@ -2,12 +2,20 @@
 sequences and random thread programs must preserve every invariant, on
 every scheme, at every window count."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Call, CloseStream, Kernel, Read, Tick, Write
 from repro.core.invariants import check_invariants
-from tests.helpers import call, make_machine, new_thread, ret
+from tests.helpers import (
+    call,
+    call_to_depth,
+    make_machine,
+    new_thread,
+    ret,
+    ret_to_depth,
+)
 
 SCHEMES = ("NS", "SNP", "SP")
 
@@ -131,6 +139,89 @@ def test_stream_transfer_is_lossless(chunks, capacity, n_windows):
         assert result.result_of("c") == expected
         saves_by_scheme[scheme] = result.counters.saves
     assert len(set(saves_by_scheme.values())) == 1
+
+
+def _assert_no_spill_on_underflow(counters):
+    """§4's point: the in-place restore services every underflow
+    without moving any *other* window out — an underflow trap must
+    never spill."""
+    underflows = [t for t in counters.trap_trace if t.kind == "underflow"]
+    spilled = [t for t in underflows if t.spilled]
+    assert not spilled, (
+        "%d underflow trap(s) spilled a window: %r"
+        % (len(spilled), spilled[:3]))
+    for trap in underflows:
+        assert trap.restored, "underflow serviced without a restore"
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=ops_strategy,
+    n_windows=st.integers(4, 7),
+    scheme_idx=st.integers(0, 1),
+)
+def test_underflow_inplace_restore_never_spills(ops, n_windows,
+                                                scheme_idx):
+    """Random call/switch interleavings under the sharing schemes (SNP
+    and SP): every underflow is serviced by the in-place restore, so
+    the spill-on-underflow count stays at zero and all invariants hold.
+    The small window files make the threads evict each other, which is
+    exactly what produces underflows on the way back down."""
+    scheme_name = ("SNP", "SP")[scheme_idx]
+    cpu, scheme = make_machine(n_windows, scheme_name)
+    cpu.counters.keep_trace = True
+    threads = [new_thread(scheme, i) for i in range(3)]
+    current = threads[0]
+    scheme.context_switch(None, current)
+    for tid, action in ops:
+        target = threads[tid]
+        if target is not current:
+            scheme.context_switch(current, target)
+            current = target
+        if action == 0:
+            call(cpu, current)
+        elif action == 1 and current.depth > 1:
+            ret(cpu, current)
+        _assert_no_spill_on_underflow(cpu.counters)
+        check_invariants(cpu, scheme, threads)
+    for thread in threads:
+        if thread is not current and thread.started:
+            scheme.context_switch(current, thread)
+            current = thread
+        while current.depth > 1:
+            ret(cpu, current)
+            _assert_no_spill_on_underflow(cpu.counters)
+        check_invariants(cpu, scheme, threads)
+
+
+@pytest.mark.parametrize("scheme_name", ("SNP", "SP"))
+def test_forced_underflows_restore_in_place(scheme_name):
+    """Deterministic companion to the property above: force the
+    underflow path (deep call stacks, interleaved eviction, full
+    unwind) and require that underflows actually happened — and that
+    none of them spilled."""
+    n_windows = 5
+    cpu, scheme = make_machine(n_windows, scheme_name)
+    cpu.counters.keep_trace = True
+    threads = [new_thread(scheme, i) for i in range(2)]
+    current = threads[0]
+    scheme.context_switch(None, current)
+    for __ in range(2):
+        for thread in threads:
+            if thread is not current:
+                scheme.context_switch(current, thread)
+                current = thread
+            call_to_depth(cpu, current, current.depth + n_windows + 2)
+            check_invariants(cpu, scheme, threads)
+    for thread in threads:
+        if thread is not current:
+            scheme.context_switch(current, thread)
+            current = thread
+        ret_to_depth(cpu, current, 1)
+        check_invariants(cpu, scheme, threads)
+    assert cpu.counters.underflow_traps > 0, (
+        "scenario failed to underflow — deepen the call stacks")
+    _assert_no_spill_on_underflow(cpu.counters)
 
 
 @settings(max_examples=40, deadline=None)
