@@ -25,6 +25,7 @@ Quickstart::
     print(result.result_of("main"), result.total_cycles)
 """
 
+from repro.errors import ReproError, TransientError
 from repro.core import (
     CostModel,
     FIFOPolicy,
@@ -50,6 +51,7 @@ from repro.runtime import (
     FlushHint,
     Join,
     Kernel,
+    LivelockError,
     Read,
     ReadLine,
     RunResult,
@@ -82,11 +84,14 @@ __all__ = [
     "TraceRecorder",
     "PerfettoExporter",
     "build_run_report",
+    "ReproError",
+    "TransientError",
     "Call",
     "CloseStream",
     "DeadlockError",
     "FlushHint",
     "Kernel",
+    "LivelockError",
     "Read",
     "ReadLine",
     "RunResult",

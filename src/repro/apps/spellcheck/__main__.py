@@ -30,14 +30,25 @@ from repro.runtime.kernel import Kernel
 
 def check_document(document: bytes, dict1: bytes, dict2: bytes,
                    m: int, n: int, scheme: str, n_windows: int,
-                   instrument=None):
+                   instrument=None, faults=None, audit: bool = False,
+                   watchdog=None, crash_dir=None, crash_config=None):
     """Run the pipeline over arbitrary document bytes.
 
     ``instrument`` (optional) receives the kernel before spawning, so
     observability consumers can subscribe to ``kernel.events``.
+    ``faults``/``audit``/``watchdog``/``crash_dir`` are the robustness
+    knobs (see :mod:`repro.faults`); register verification is forced on
+    under injection so a corrupting fault is detected, not absorbed.
     """
+    if crash_dir is not None and crash_config is None:
+        crash_config = {"workload": "spellcheck", "scheme": scheme,
+                        "n_windows": n_windows, "m": m, "n": n,
+                        "verify_registers": faults is not None,
+                        "audit": audit, "watchdog": watchdog or 0}
     kernel = Kernel(n_windows=n_windows, scheme=scheme,
-                    verify_registers=False)
+                    verify_registers=faults is not None,
+                    faults=faults, audit=audit, watchdog=watchdog,
+                    crash_dir=crash_dir, crash_config=crash_config)
     if instrument is not None:
         instrument(kernel)
     s1 = kernel.stream(m, "S1")
@@ -81,6 +92,22 @@ def main(argv=None) -> int:
                              "chrome://tracing or ui.perfetto.dev)")
     parser.add_argument("--report", metavar="PATH", default=None,
                         help="write a RunReport JSON document")
+    parser.add_argument("--seed", type=int, default=1993,
+                        help="seed for the fault plan's RNG")
+    parser.add_argument("--faults", metavar="PLAN", default=None,
+                        help="fault-injection plan, e.g. "
+                             "'register@3,store_fail@2' or 'random:4' "
+                             "(see repro.faults)")
+    parser.add_argument("--audit", action="store_true",
+                        help="run the full invariant check after every "
+                             "dispatch/call/return")
+    parser.add_argument("--watchdog", type=int, metavar="STEPS",
+                        default=None,
+                        help="raise LivelockError after this many steps "
+                             "without progress")
+    parser.add_argument("--crash-dir", metavar="DIR", default=None,
+                        help="write a replayable crash bundle here on "
+                             "any simulator error")
     args = parser.parse_args(argv)
 
     if args.file:
@@ -108,9 +135,46 @@ def main(argv=None) -> int:
             observers["timeline"] = OccupancyTimeline()
             kernel.timeline = observers["timeline"]
 
-    result, report = check_document(document, dict1, dict2,
-                                    args.m, args.n, args.scheme,
-                                    args.windows, instrument=instrument)
+    injector = None
+    if args.faults:
+        from repro.faults import FaultInjector, plan_from_arg
+
+        injector = FaultInjector(plan_from_arg(args.faults,
+                                               seed=args.seed))
+    crash_config = None
+    if args.crash_dir is not None:
+        # a file-fed document cannot be regenerated from the bundle, so
+        # mark such runs unreplayable instead of replaying the wrong input
+        crash_config = {
+            "workload": "spellcheck" if not args.file else "spellcheck-file",
+            "scheme": args.scheme, "n_windows": args.windows,
+            "m": args.m, "n": args.n, "scale": args.scale,
+            "verify_registers": injector is not None,
+            "audit": args.audit, "watchdog": args.watchdog or 0,
+        }
+    try:
+        result, report = check_document(
+            document, dict1, dict2, args.m, args.n, args.scheme,
+            args.windows, instrument=instrument, faults=injector,
+            audit=args.audit, watchdog=args.watchdog,
+            crash_dir=args.crash_dir, crash_config=crash_config)
+    except Exception as exc:
+        from repro.errors import ReproError
+
+        if not isinstance(exc, ReproError):
+            raise
+        print("simulator fault: %s: %s" % (type(exc).__name__, exc),
+              file=sys.stderr)
+        bundle = getattr(exc, "bundle_path", None)
+        if bundle is not None:
+            print("crash bundle: %s" % bundle, file=sys.stderr)
+            print("replay with: python -m repro.faults replay %s"
+                  % bundle, file=sys.stderr)
+        if injector is not None:
+            print(injector.summary(), file=sys.stderr)
+        return 1
+    if injector is not None:
+        print(injector.summary())
     if args.trace:
         observers["exporter"].write(args.trace)
         print("wrote Perfetto trace: %s" % args.trace)

@@ -97,7 +97,9 @@ def run_spellchecker(n_windows: int, scheme: str, config: SpellConfig,
                      queue_policy=None, allocation=None,
                      verify_registers: bool = False,
                      max_steps: Optional[int] = None,
-                     instrument=None) -> Tuple[RunResult, bytes]:
+                     instrument=None, faults=None, audit: bool = False,
+                     watchdog: Optional[int] = None, crash_dir=None,
+                     crash_config=None) -> Tuple[RunResult, bytes]:
     """Build and run the pipeline; returns (result, misspelling report).
 
     ``verify_registers`` defaults to False here (unlike the kernel
@@ -107,10 +109,25 @@ def run_spellchecker(n_windows: int, scheme: str, config: SpellConfig,
     ``instrument``, when given, is called with the kernel before any
     thread is spawned — the hook observability consumers use to
     subscribe to ``kernel.events`` or attach tracker/timeline.
+
+    ``faults``/``audit``/``watchdog``/``crash_dir`` are the robustness
+    knobs, forwarded to the kernel (see :mod:`repro.faults`).  When
+    ``crash_dir`` is set and no explicit ``crash_config`` is given, a
+    replayable workload description is embedded in any crash bundle.
     """
+    if crash_dir is not None and crash_config is None:
+        crash_config = {
+            "workload": "spellcheck", "scheme": scheme,
+            "n_windows": n_windows, "m": config.m, "n": config.n,
+            "scale": config.scale, "seed": config.seed,
+            "verify_registers": verify_registers, "audit": audit,
+            "watchdog": watchdog or 0,
+        }
     kernel = Kernel(n_windows=n_windows, scheme=scheme,
                     queue_policy=queue_policy, allocation=allocation,
-                    verify_registers=verify_registers)
+                    verify_registers=verify_registers,
+                    faults=faults, audit=audit, watchdog=watchdog,
+                    crash_dir=crash_dir, crash_config=crash_config)
     if instrument is not None:
         instrument(kernel)
     build_spellchecker(kernel, config)

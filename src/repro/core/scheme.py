@@ -122,6 +122,9 @@ class Scheme(ABC):
         "first occupant above a boundary is a bottom" invariant alive.
         """
         frame = self._frame_of_bottom(victim)
+        faults = self.cpu.faults
+        if faults is not None:
+            faults.on_store_access("spill", victim, frame, self.counters)
         victim.store.push(frame)
         old_bottom = victim.shrink_bottom(self.wf.n_windows)
         self.map.set_free(old_bottom)
@@ -159,11 +162,15 @@ class Scheme(ABC):
     def _restore_top_frame(self, tw: ThreadWindows, w: int) -> None:
         """Load the thread's innermost stored frame into window ``w``."""
         frame = tw.store.pop()
+        faults = self.cpu.faults
+        if faults is not None:
+            faults.on_store_access("restore", tw, frame, self.counters)
         expected = tw.depth - tw.resident
         if frame.depth >= 0 and frame.depth != expected:
             raise WindowIntegrityError(
                 "thread %d restored frame of depth %d at depth %d"
-                % (tw.tid, frame.depth, expected))
+                % (tw.tid, frame.depth, expected),
+                thread=tw.tid, frame_depth=frame.depth, expected=expected)
         self.wf.load(w, frame)
 
     def _install_single_frame(self, tw: ThreadWindows, w: int) -> int:

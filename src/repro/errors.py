@@ -1,0 +1,56 @@
+"""Root of the repro error hierarchy.
+
+Every structural failure the simulator can raise — a violated window
+geometry, corrupted register contents, a wedged scheduler — derives
+from :class:`ReproError`, which carries a structured ``context`` dict
+(thread, cycle, CWP, ...) rendered uniformly in ``__str__``.  The
+crash-bundle writer (:mod:`repro.faults.bundle`) serialises the same
+context, so CLI messages and bundles tell one consistent story.
+
+:class:`TransientError` marks the failures a retry may cure (an
+injected backing-store hiccup, a sweep-point timeout).  The experiment
+engine retries transient failures with backoff and sends every other
+:class:`ReproError` straight to quarantine — a violated invariant will
+not un-violate itself on a second attempt.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class ReproError(Exception):
+    """Base class for all structural simulator errors.
+
+    ``context`` holds machine-readable diagnostics (``thread``,
+    ``cycle``, ``cwp``, ``step``, ...) and is rendered as a bracketed
+    suffix by ``__str__`` — errors raised with a bare message format
+    exactly as before.
+    """
+
+    def __init__(self, message: str = "", **context: Any):
+        super().__init__(message)
+        self.message = message
+        self.context: Dict[str, Any] = dict(context)
+
+    def with_context(self, **context: Any) -> "ReproError":
+        """Merge extra context (existing keys win); returns self."""
+        for key, value in context.items():
+            self.context.setdefault(key, value)
+        return self
+
+    def __str__(self) -> str:
+        if not self.context:
+            return self.message
+        detail = ", ".join("%s=%s" % (key, self.context[key])
+                           for key in sorted(self.context))
+        return "%s [%s]" % (self.message, detail)
+
+
+class TransientError(ReproError):
+    """A failure that may succeed on retry (injected or environmental).
+
+    The engine's per-point retry only re-attempts these; every other
+    :class:`ReproError` subclass is treated as fatal and quarantined
+    immediately.
+    """

@@ -78,6 +78,29 @@ def main(argv=None) -> int:
     parser.add_argument("--out", type=str, default=None,
                         help="report target: write JSON here "
                              "(default: stdout)")
+    parser.add_argument("--faults", metavar="PLAN", default="",
+                        help="fault-injection plan applied to every "
+                             "point, e.g. 'store_fail@2' (see "
+                             "repro.faults)")
+    parser.add_argument("--seed", type=int, default=1993,
+                        help="seed for the fault plan's RNG")
+    parser.add_argument("--audit", action="store_true",
+                        help="continuous invariant audit on every point")
+    parser.add_argument("--watchdog", type=int, metavar="STEPS",
+                        default=0,
+                        help="per-point livelock watchdog threshold")
+    parser.add_argument("--timeout", type=float, metavar="SECONDS",
+                        default=None,
+                        help="per-point wall-clock budget (times out as "
+                             "a retryable failure)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="retries per transient point failure")
+    parser.add_argument("--backoff", type=float, default=0.0,
+                        help="base seconds slept before retry k")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="quarantine failing points into the "
+                             "failure manifest instead of aborting "
+                             "the sweep")
     args = parser.parse_args(argv)
 
     windows = ([int(x) for x in args.windows.split(",")]
@@ -89,7 +112,8 @@ def main(argv=None) -> int:
 
         report = run_report_point(
             args.scheme, windows[0] if windows else 8, "high", "coarse",
-            scale=args.scale)
+            scale=args.scale, faults=args.faults, fault_seed=args.seed,
+            audit=args.audit, watchdog=args.watchdog)
         if args.out:
             write_report(report, args.out)
             print("wrote RunReport: %s" % args.out)
@@ -97,8 +121,21 @@ def main(argv=None) -> int:
             print(to_json(report))
         return 0
 
+    spec_defaults = {}
+    if args.faults:
+        spec_defaults["faults"] = args.faults
+        spec_defaults["fault_seed"] = args.seed
+    if args.audit:
+        spec_defaults["audit"] = True
+    if args.watchdog:
+        spec_defaults["watchdog"] = args.watchdog
     engine = Engine.from_env(jobs=args.jobs, cache=not args.no_cache,
-                             cache_dir=args.cache_dir)
+                             cache_dir=args.cache_dir,
+                             retries=args.retries,
+                             timeout=args.timeout,
+                             backoff=args.backoff,
+                             keep_going=args.keep_going,
+                             spec_defaults=spec_defaults)
 
     targets = ([args.target] if args.target != "all"
                else ["table1", "table2"] + sorted(FIGURES))
@@ -112,6 +149,9 @@ def main(argv=None) -> int:
         else:
             _emit_figure(target, windows, args.scale, engine)
         print(engine.last_stats.summary(engine.jobs))
+        if engine.last_stats.failures and args.keep_going \
+                and engine.failure_manifest_path() is not None:
+            print("failure manifest: %s" % engine.failure_manifest_path())
         print()
     return 0
 

@@ -31,19 +31,25 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
+import signal
+import time
 import traceback
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import __version__
 from repro.core.costs import CostModel
+from repro.errors import ReproError, TransientError
 from repro.experiments.harness import ExperimentPoint, run_report_point
+from repro.ioutil import atomic_write_text  # noqa: F401  (re-export)
 from repro.metrics.report import SCHEMA_VERSION, from_json, to_json
 
 CACHE_SCHEMA = "repro.sweep-cache"
 CACHE_VERSION = 1
+
+MANIFEST_SCHEMA = "repro.failure-manifest"
+MANIFEST_VERSION = 1
 
 #: environment knobs understood by :func:`default_jobs` / :func:`default_cache_dir`
 ENV_JOBS = "REPRO_JOBS"
@@ -68,33 +74,19 @@ def default_cache_dir() -> Path:
     return root / "repro-experiments"
 
 
-def atomic_write_text(path, text: str) -> Path:
-    """Write ``text`` to ``path`` via temp-file-plus-rename so a parallel
-    or interrupted writer can never leave a truncated file behind."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=str(path.parent),
-                               prefix=path.name + ".", suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
-        os.replace(tmp, str(path))
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-    return path
-
-
 # ---------------------------------------------------------------------------
 # point specifications
 
 
 @dataclass(frozen=True)
 class PointSpec:
-    """One sweep point: everything that determines a run's results."""
+    """One sweep point: everything that determines a run's results.
+
+    The robustness fields (``faults``, ``fault_seed``, ``audit``,
+    ``watchdog``) default to "off" and are deliberately kept out of
+    :attr:`label`, which stays the stable human key the goldens and
+    figures use.
+    """
 
     scheme: str
     n_windows: int
@@ -103,6 +95,10 @@ class PointSpec:
     scale: float
     seed: int = 1993
     working_set: bool = False
+    faults: str = ""
+    fault_seed: int = 1993
+    audit: bool = False
+    watchdog: int = 0
 
     @property
     def label(self) -> str:
@@ -267,32 +263,93 @@ class ResultCache:
 # execution
 
 
+class PointTimeoutError(TransientError):
+    """A sweep point exceeded its per-point wall-clock budget."""
+
+
+def _alarm_handler(signum, frame):
+    raise PointTimeoutError("point exceeded its time budget")
+
+
+def _failure_payload(exc: BaseException) -> Dict[str, object]:
+    """The structured error document a worker sends over the pipe.
+
+    ``transient`` drives the retry policy: a :class:`ReproError` that
+    is not a :class:`TransientError` is a *deterministic* simulator
+    failure — retrying cannot cure it, so it goes straight to
+    quarantine.  Unclassified exceptions (OS hiccups, pickling, ...)
+    stay retryable, matching the engine's historical behaviour.
+    """
+    return {
+        "type": type(exc).__name__,
+        "transient": (not isinstance(exc, ReproError)
+                      or isinstance(exc, TransientError)),
+        "traceback": traceback.format_exc(),
+    }
+
+
+def _normalize_error(err) -> Optional[Dict[str, object]]:
+    """Accept both the structured dict and the legacy traceback string
+    (custom runners in tests still use the latter: retryable)."""
+    if err is None:
+        return None
+    if isinstance(err, str):
+        return {"type": "", "transient": True, "traceback": err}
+    return err
+
+
 def _execute_payload(task: Tuple[int, Dict[str, object]]):
     """Worker-side entry point: run one point, return its report.
 
     Module-level so it pickles under every multiprocessing start
     method.  Returns ``(index, report, None)`` or ``(index, None,
-    formatted_traceback)`` — exceptions never cross the pipe raw.
+    error_dict)`` — exceptions never cross the pipe raw.  A
+    ``"_timeout"`` key in the payload (seconds) arms a SIGALRM budget
+    around the point where the platform supports it.
     """
     index, payload = task
+    timeout = payload.get("_timeout")
+    armed = False
     try:
+        if timeout and hasattr(signal, "SIGALRM"):
+            signal.signal(signal.SIGALRM, _alarm_handler)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+            armed = True
         spec = PointSpec.from_payload(payload)
         report = run_report_point(
             spec.scheme, spec.n_windows, spec.concurrency,
             spec.granularity, scale=spec.scale,
-            working_set=spec.working_set, seed=spec.seed)
+            working_set=spec.working_set, seed=spec.seed,
+            faults=spec.faults, fault_seed=spec.fault_seed,
+            audit=spec.audit, watchdog=spec.watchdog)
         return index, report, None
-    except Exception:
-        return index, None, traceback.format_exc()
+    except Exception as exc:
+        return index, None, _failure_payload(exc)
+    finally:
+        if armed:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, signal.SIG_DFL)
 
 
 @dataclass
 class PointFailure:
-    """One point that kept failing after every retry."""
+    """One point that kept failing after every retry (or was fatal)."""
 
     spec: PointSpec
     attempts: int
     traceback: str
+    error_type: str = ""
+    transient: bool = True
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "label": self.spec.label,
+            "spec": self.spec.to_payload(),
+            "error_type": self.error_type,
+            "transient": self.transient,
+            "attempts": self.attempts,
+            "traceback": self.traceback,
+        }
 
 
 @dataclass
@@ -304,16 +361,20 @@ class EngineStats:
     executed: int = 0
     retried: int = 0
     failures: List[PointFailure] = field(default_factory=list)
+    quarantined: bool = False
 
     @property
     def hit_ratio(self) -> float:
         return self.hits / self.total if self.total else 0.0
 
     def summary(self, jobs: int) -> str:
-        return ("engine: %d points — %d cached (%d%%), %d executed, "
+        line = ("engine: %d points — %d cached (%d%%), %d executed, "
                 "%d failed [jobs=%d]"
                 % (self.total, self.hits, round(100 * self.hit_ratio),
                    self.executed, len(self.failures), jobs))
+        if self.quarantined and self.failures:
+            line += " — %d point(s) quarantined" % len(self.failures)
+        return line
 
 
 class EngineError(RuntimeError):
@@ -323,7 +384,9 @@ class EngineError(RuntimeError):
         self.failures = failures
         lines = ["%d sweep point(s) failed:" % len(failures)]
         for failure in failures:
-            last = failure.traceback.strip().splitlines()[-1]
+            text = failure.traceback.strip()
+            last = (text.splitlines()[-1] if text
+                    else failure.error_type or "unknown error")
             lines.append("  %s (after %d attempt(s)): %s"
                          % (failure.spec.label, failure.attempts, last))
         super().__init__("\n".join(lines))
@@ -332,23 +395,46 @@ class EngineError(RuntimeError):
 class Engine:
     """Fan sweep points over a worker pool, memoising RunReports.
 
-    ``jobs``       pool width; 1 runs in-process (no pool, no fork).
-    ``cache_dir``  result-store root; ``None`` disables caching.
-    ``retries``    extra serial attempts per failed point before the
-                   run raises :class:`EngineError`.
-    ``progress``   optional callback ``(phase, done, total, spec)``
-                   with phase in {"hit", "done", "retry", "fail"}.
+    ``jobs``         pool width; 1 runs in-process (no pool, no fork).
+    ``cache_dir``    result-store root; ``None`` disables caching.
+    ``retries``      extra serial attempts per *transient* failure
+                     before the point is declared failed.  Fatal
+                     failures (a non-transient :class:`ReproError`)
+                     are never retried.
+    ``progress``     optional callback ``(phase, done, total, spec)``
+                     with phase in {"hit", "done", "retry", "fail"}.
+    ``timeout``      per-point wall-clock budget in seconds (worker-
+                     side SIGALRM; times out as a transient failure).
+    ``backoff``      base seconds slept before retry k (k * backoff).
+    ``keep_going``   graceful degradation: failing points are
+                     quarantined into the failure manifest and their
+                     slots returned as ``None`` instead of raising
+                     :class:`EngineError`.
+    ``manifest_path``  where the failure manifest lands; defaults to
+                     ``<cache_dir>/failures.json`` when caching.
+    ``spec_defaults``  field overrides (``faults``, ``audit``, ...)
+                     applied to every spec via ``dataclasses.replace``.
     """
 
     def __init__(self, jobs: Optional[int] = None, cache_dir=None,
                  retries: int = 1,
                  progress: Optional[Callable] = None,
-                 runner: Optional[Callable] = None) -> None:
+                 runner: Optional[Callable] = None,
+                 timeout: Optional[float] = None,
+                 backoff: float = 0.0,
+                 keep_going: bool = False,
+                 manifest_path=None,
+                 spec_defaults: Optional[Dict[str, Any]] = None) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, jobs)
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.retries = max(0, retries)
         self.progress = progress
         self._runner = runner or _execute_payload
+        self.timeout = timeout
+        self.backoff = max(0.0, backoff)
+        self.keep_going = keep_going
+        self.manifest_path = Path(manifest_path) if manifest_path else None
+        self.spec_defaults = dict(spec_defaults or {})
         self.last_stats = EngineStats()
 
     @classmethod
@@ -362,11 +448,20 @@ class Engine:
 
     # -- core ---------------------------------------------------------------
 
-    def run_reports(self, specs: Sequence[PointSpec]) -> List[Dict]:
+    def run_reports(self, specs: Sequence[PointSpec]) -> List[Optional[Dict]]:
         """Run every spec (cache, then pool) and return the RunReports
-        in spec order.  Statistics land on :attr:`last_stats`."""
+        in spec order.  Statistics land on :attr:`last_stats`.
+
+        Without ``keep_going`` a persistent failure raises
+        :class:`EngineError`; with it the failing slots hold ``None``,
+        the failures are written to the failure manifest, and every
+        healthy point still comes back complete.
+        """
         specs = list(specs)
-        stats = EngineStats(total=len(specs))
+        if self.spec_defaults:
+            specs = [replace(spec, **self.spec_defaults)
+                     for spec in specs]
+        stats = EngineStats(total=len(specs), quarantined=self.keep_going)
         self.last_stats = stats
         fingerprint = cache_fingerprint()
         keys = [cache_key(spec, fingerprint) for spec in specs]
@@ -394,9 +489,15 @@ class Engine:
                 new_entries[keys[i]] = specs[i].to_payload()
             self._notify("done", stats, specs[i])
 
-        failed: List[Tuple[int, str]] = []
+        def payload_of(i: int) -> Dict[str, object]:
+            payload = specs[i].to_payload()
+            if self.timeout:
+                payload["_timeout"] = self.timeout
+            return payload
+
+        failed: List[Tuple[int, Dict[str, object]]] = []
         if pending:
-            tasks = [(i, specs[i].to_payload()) for i in pending]
+            tasks = [(i, payload_of(i)) for i in pending]
             if self.jobs > 1 and len(tasks) > 1:
                 import multiprocessing
 
@@ -409,41 +510,55 @@ class Engine:
                         if err is None:
                             commit(i, report)
                         else:
-                            failed.append((i, err))
+                            failed.append((i, _normalize_error(err)))
             else:
                 for task in tasks:
                     i, report, err = self._runner(task)
                     if err is None:
                         commit(i, report)
                     else:
-                        failed.append((i, err))
+                        failed.append((i, _normalize_error(err)))
 
         failures: List[PointFailure] = []
         for i, err in failed:
             attempts = 1
             report = None
-            while report is None and attempts <= self.retries:
+            while (report is None and err.get("transient", True)
+                   and attempts <= self.retries):
                 stats.retried += 1
                 self._notify("retry", stats, specs[i])
+                if self.backoff:
+                    time.sleep(self.backoff * attempts)
                 attempts += 1
-                __, report, err = self._runner((i, specs[i].to_payload()))
+                __, report, raw = self._runner((i, payload_of(i)))
+                if raw is not None:
+                    err = _normalize_error(raw)
             if report is not None:
                 commit(i, report)
             else:
-                failures.append(PointFailure(specs[i], attempts, err))
+                failures.append(PointFailure(
+                    specs[i], attempts, err.get("traceback", ""),
+                    error_type=err.get("type", ""),
+                    transient=err.get("transient", True)))
                 self._notify("fail", stats, specs[i])
 
         if self.cache and new_entries:
             self.cache.update_manifest(new_entries, fingerprint)
         if failures:
             stats.failures = failures
-            raise EngineError(failures)
-        return reports  # type: ignore[return-value]
+            self._write_failure_manifest(failures, fingerprint)
+            if not self.keep_going:
+                raise EngineError(failures)
+        return reports
 
-    def run_points(self, specs: Sequence[PointSpec]) -> List[ExperimentPoint]:
+    def run_points(self,
+                   specs: Sequence[PointSpec]
+                   ) -> List[Optional[ExperimentPoint]]:
         """Like :meth:`run_reports` but summarised to the
-        :class:`ExperimentPoint` the figures/tables plot."""
-        return [point_from_report(r) for r in self.run_reports(specs)]
+        :class:`ExperimentPoint` the figures/tables plot.  Quarantined
+        slots (``keep_going``) stay ``None``."""
+        return [point_from_report(r) if r is not None else None
+                for r in self.run_reports(specs)]
 
     # -- helpers ------------------------------------------------------------
 
@@ -452,6 +567,27 @@ class Engine:
         if self.progress is not None:
             self.progress(phase, stats.hits + stats.executed,
                           stats.total, spec)
+
+    def failure_manifest_path(self) -> Optional[Path]:
+        """Where quarantined failures are recorded (None: nowhere)."""
+        if self.manifest_path is not None:
+            return self.manifest_path
+        if self.cache is not None:
+            return self.cache.root / "failures.json"
+        return None
+
+    def _write_failure_manifest(self, failures: List[PointFailure],
+                                fingerprint: Dict[str, object]) -> None:
+        path = self.failure_manifest_path()
+        if path is None:
+            return
+        doc = {
+            "schema": MANIFEST_SCHEMA,
+            "version": MANIFEST_VERSION,
+            "fingerprint": fingerprint,
+            "failures": [f.to_payload() for f in failures],
+        }
+        atomic_write_text(path, json.dumps(doc, indent=2, sort_keys=True))
 
 
 def point_from_report(report: Dict) -> ExperimentPoint:

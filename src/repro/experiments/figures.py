@@ -81,10 +81,14 @@ def _sweep_figure(figure: str, ylabel: str, concurrency: str,
     points = engine.run_points(specs)
     series: Series = {"%s/%s" % (s, g): []
                       for g in granularities for s in schemes}
+    notes = []
     for spec, point in zip(specs, points):
+        if point is None:  # quarantined by a keep_going engine
+            notes.append("missing point: %s" % spec.label)
+            continue
         series["%s/%s" % (spec.scheme, spec.granularity)].append(
             (point.n_windows, metric(point)))
-    return FigureResult(figure, ylabel, series)
+    return FigureResult(figure, ylabel, series, notes=notes)
 
 
 def run_fig11(windows: Optional[Sequence[int]] = None,

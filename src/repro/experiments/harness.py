@@ -106,10 +106,20 @@ def run_point(scheme: str, n_windows: int, concurrency: str,
 def run_report_point(scheme: str, n_windows: int, concurrency: str,
                      granularity: str, scale: Optional[float] = None,
                      working_set: bool = False, seed: int = 1993,
-                     allocation=None) -> Dict:
+                     allocation=None, faults: str = "",
+                     fault_seed: int = 1993, audit: bool = False,
+                     watchdog: int = 0) -> Dict:
     """Run one spell-checker point with the full observability stack
     attached and return its versioned RunReport dict (the document
-    ``benchmarks/`` emits for cross-PR perf trajectories)."""
+    ``benchmarks/`` emits for cross-PR perf trajectories).
+
+    ``faults`` (a :meth:`FaultPlan.parse` spec), ``audit`` and
+    ``watchdog`` turn on the robustness machinery; register
+    verification is forced on under injection so corruptions are
+    detected rather than silently wrong.  The extra config keys are
+    only added when a knob is non-default, keeping vanilla reports
+    byte-identical to previous versions.
+    """
     if scale is None:
         scale = env_scale()
     config = SpellConfig.named(concurrency, granularity,
@@ -124,16 +134,32 @@ def run_report_point(scheme: str, n_windows: int, concurrency: str,
         observers["timeline"] = OccupancyTimeline()
         kernel.timeline = observers["timeline"]
 
+    injector = None
+    if faults:
+        from repro.faults import FaultInjector, FaultPlan
+
+        injector = FaultInjector(FaultPlan.parse(faults, seed=fault_seed))
     result, output = run_spellchecker(
         n_windows, scheme, config, queue_policy=policy,
-        allocation=allocation, instrument=instrument)
+        allocation=allocation, instrument=instrument,
+        verify_registers=bool(faults), faults=injector,
+        audit=audit, watchdog=watchdog or None)
+    report_config = {"scheme": scheme, "n_windows": n_windows,
+                     "concurrency": concurrency,
+                     "granularity": granularity,
+                     "policy": policy.name, "scale": scale, "seed": seed,
+                     "workload": "spellcheck",
+                     "output_bytes": len(output)}
+    if faults:
+        report_config["faults"] = faults
+        report_config["fault_seed"] = fault_seed
+    if audit:
+        report_config["audit"] = True
+    if watchdog:
+        report_config["watchdog"] = watchdog
     return build_run_report(
         result,
-        config={"scheme": scheme, "n_windows": n_windows,
-                "concurrency": concurrency, "granularity": granularity,
-                "policy": policy.name, "scale": scale, "seed": seed,
-                "workload": "spellcheck",
-                "output_bytes": len(output)},
+        config=report_config,
         tracker=observers["tracker"],
         timeline=observers["timeline"],
         recorder=observers["recorder"])
@@ -165,6 +191,8 @@ def sweep_windows(concurrency: str, granularity: str,
         points = engine.run_points(specs)
         out: Dict[str, List[ExperimentPoint]] = {s: [] for s in schemes}
         for spec, point in zip(specs, points):
+            if point is None:
+                continue  # quarantined by a keep_going engine
             out[spec.scheme].append(point)
         return out
     out = {}

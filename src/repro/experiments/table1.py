@@ -70,6 +70,9 @@ def run_table1(scale: Optional[float] = None,
                             scale=scale)
                   for concurrency, granularity in CONFIGS]
     for (concurrency, granularity), point in zip(CONFIGS, points):
+        if point is None:  # quarantined by a keep_going engine
+            switches[(concurrency, granularity)] = {}
+            continue
         switches[(concurrency, granularity)] = point.per_thread_switches
         saves = point.per_thread_saves  # identical across configs
     return Table1Result(switches, saves, scale)

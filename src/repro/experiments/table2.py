@@ -51,7 +51,8 @@ def run_table2(scale: Optional[float] = None,
     reports = engine.run_reports(specs)
     observed: Dict[str, Dict[Tuple[int, int], int]] = {
         spec.scheme: transfer_histogram_from_report(report)
-        for spec, report in zip(specs, reports)}
+        for spec, report in zip(specs, reports)
+        if report is not None}  # quarantined by a keep_going engine
     return Table2Result(rows, observed)
 
 

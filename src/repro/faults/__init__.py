@@ -1,0 +1,49 @@
+"""``repro.faults`` — deterministic seeded fault injection, the kernel
+watchdog, and crash-bundle diagnostics.
+
+The paper's §3.1 argues window sharing can never corrupt another
+thread's resident windows; this subsystem is how the repo *earns* that
+claim instead of asserting it.  A :class:`FaultPlan` (seed + specs)
+compiles into a :class:`FaultInjector` the kernel threads through the
+CPU, the schemes and the ready queue; every injection lands on the
+trace-event bus, and every escaping :class:`~repro.errors.ReproError`
+can be dumped as a replayable crash bundle.
+
+The contract the chaos suite enforces: every fault class is either
+*survived* (architectural results identical to the unfaulted run) or
+*detected* (a specific ``ReproError`` plus a bundle whose seed + plan
+reproduce the identical failure bit-for-bit) — never silently wrong.
+"""
+
+from repro.faults.bundle import (
+    BUNDLE_SCHEMA,
+    BUNDLE_VERSION,
+    build_crash_bundle,
+    load_bundle,
+    replay_bundle,
+    write_crash_bundle,
+)
+from repro.faults.inject import FaultInjector, InjectedStoreError
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    plan_from_arg,
+)
+from repro.faults.watchdog import Watchdog
+
+__all__ = [
+    "BUNDLE_SCHEMA",
+    "BUNDLE_VERSION",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedStoreError",
+    "Watchdog",
+    "build_crash_bundle",
+    "load_bundle",
+    "plan_from_arg",
+    "replay_bundle",
+    "write_crash_bundle",
+]

@@ -1,0 +1,106 @@
+"""Crash-bundle CLI: ``python -m repro.faults <show|replay> bundle.json``.
+
+``show`` pretty-prints what a bundle captured: the error and its
+context, the machine and thread state at the crash, the fault plan and
+the tail of the event flight recorder.
+
+``replay`` re-executes the workload the bundle describes (same config,
+same seed, same fault plan) and verifies the rerun crashes with a
+bit-for-bit identical bundle — the determinism contract that makes an
+injected failure diagnosable instead of anecdotal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.faults.bundle import load_bundle, replay_bundle
+from repro.faults.plan import FaultPlan
+
+
+def show(path: str) -> int:
+    bundle = load_bundle(path)
+    error = bundle["error"]
+    machine = bundle["machine"]
+    print("crash bundle: %s (schema %s v%s)"
+          % (path, bundle["schema"], bundle["version"]))
+    print()
+    print("error: %s: %s" % (error["type"], error["message"]))
+    for key in sorted(error.get("context", {})):
+        print("  %-14s %s" % (key, error["context"][key]))
+    for entry in error.get("blocked", []):
+        print("  blocked: %s waits to %s %r (%s)"
+              % (entry.get("thread"), entry.get("op"), entry.get("on"),
+                 entry.get("detail")))
+    print()
+    plan = bundle.get("fault_plan")
+    if plan:
+        print("fault plan: %s" % FaultPlan.from_payload(plan).describe())
+    else:
+        print("fault plan: none")
+    print("config: %s" % " ".join(
+        "%s=%s" % (k, bundle["config"][k])
+        for k in sorted(bundle["config"])))
+    print()
+    print("machine: scheme=%s windows=%d cwp=%d wim=%s"
+          % (machine["scheme"], machine["n_windows"], machine["cwp"],
+             machine["wim"]))
+    for entry in machine["occupancy"]:
+        print("  w%-2d %-9s %s" % (
+            entry["window"], entry["kind"],
+            "" if entry["tid"] is None else "tid=%s" % entry["tid"]))
+    print()
+    print("threads (at step %s):" % bundle.get("steps"))
+    for t in bundle["threads"]:
+        w = t["windows"]
+        print("  %-12s %-8s depth=%-3s resident=%-2s stored=%-2s %s"
+              % (t["name"], t["state"], w["depth"], w["resident"],
+                 w["stored"],
+                 "blocked on %s" % t["blocked_on"]
+                 if t["blocked_on"] else ""))
+    events = bundle.get("events", [])
+    if events:
+        print()
+        print("last %d events:" % len(events))
+        for event in events[-20:]:
+            attrs = " ".join("%s=%s" % (k, v) for k, v in event.items()
+                             if k not in ("kind", "cycle", "tid"))
+            print("  %8s  tid=%-3s %-12s %s"
+                  % (event.get("cycle"), event.get("tid", "-"),
+                     event.get("kind"), attrs))
+    return 0
+
+
+def replay(path: str, workdir=None) -> int:
+    matched, new_path, detail = replay_bundle(path, workdir=workdir)
+    print(detail)
+    if matched:
+        print("replay OK: the bundle reproduces deterministically")
+        return 0
+    print("replay FAILED: %s did not reproduce" % path, file=sys.stderr)
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Inspect and replay crash bundles.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    show_p = sub.add_parser("show", help="pretty-print a crash bundle")
+    show_p.add_argument("bundle")
+    replay_p = sub.add_parser(
+        "replay", help="re-run a bundle's workload and verify the crash "
+                       "reproduces bit-for-bit")
+    replay_p.add_argument("bundle")
+    replay_p.add_argument("--workdir", default=None,
+                          help="where the replay bundle is written "
+                               "(default: alongside the original)")
+    args = parser.parse_args(argv)
+    if args.command == "show":
+        return show(args.bundle)
+    return replay(args.bundle, workdir=args.workdir)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,239 @@
+"""Crash bundles: versioned JSON dumps of everything needed to diagnose
+and *exactly replay* a failed run.
+
+Schema (``repro.crash-bundle`` version 1)::
+
+    {
+      "schema": "repro.crash-bundle",
+      "version": 1,
+      "error":     {"type", "message", "context"},
+      "config":    {...the kernel's crash_config: workload + knobs...},
+      "fault_plan": FaultPlan payload | null,
+      "machine":   {"scheme", "n_windows", "cwp", "wim", "occupancy",
+                    "windows": [{"ins", "locals"}, ...]},
+      "threads":   [{"tid", "name", "state", "blocked_on", "calls",
+                     "returns", "blocks",
+                     "windows": {"cwp", "bottom", "resident", "depth",
+                                 "prw", "stored"}}],
+      "counters":  Counters.snapshot() (string keys),
+      "steps":     kernel steps at the crash,
+      "events":    last-N trace events from the flight recorder | []
+    }
+
+Bundles contain no timestamps or host state, so a deterministic
+workload + the embedded seed/plan reproduce the identical bundle
+bit-for-bit — which is exactly what :func:`replay_bundle` asserts.
+The filename embeds a digest of the content, so replays land on the
+same name and repeated crashes of the same failure do not pile up.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.faults.plan import FaultPlan
+from repro.ioutil import atomic_write_text
+
+BUNDLE_SCHEMA = "repro.crash-bundle"
+BUNDLE_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively coerce register contents (tuples, bytes, ...) to JSON."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def build_crash_bundle(error: BaseException, kernel,
+                       config: Optional[Dict[str, Any]] = None
+                       ) -> Dict[str, Any]:
+    """Assemble the bundle dict for ``error`` raised out of ``kernel``."""
+    wf = kernel.cpu.wf
+    wmap = kernel.cpu.map
+    n = wf.n_windows
+
+    plan = None
+    if kernel.faults is not None:
+        plan = kernel.faults.plan.to_payload()
+
+    error_doc = {
+        "type": type(error).__name__,
+        "message": (error.message if isinstance(error, ReproError)
+                    else str(error)),
+        "context": _jsonable(getattr(error, "context", {}) or {}),
+    }
+    if isinstance(error, ReproError) and getattr(error, "blocked", None):
+        error_doc["blocked"] = _jsonable(error.blocked)
+
+    machine = {
+        "scheme": kernel.scheme.kind,
+        "n_windows": n,
+        "cwp": wf.cwp,
+        "wim": sorted(wf.wim),
+        "occupancy": [{"window": w, "kind": wmap.kind(w),
+                       "tid": wmap.tid(w)} for w in range(n)],
+        "windows": [{"ins": _jsonable(wf.ins_of(w)),
+                     "locals": _jsonable(wf.locals_of(w))}
+                    for w in range(n)],
+    }
+
+    threads = [{
+        "tid": t.tid,
+        "name": t.name,
+        "state": t.state,
+        "blocked_on": t.blocked_on,
+        "calls": t.calls,
+        "returns": t.returns,
+        "blocks": t.blocks,
+        "windows": {
+            "cwp": t.windows.cwp,
+            "bottom": t.windows.bottom,
+            "resident": t.windows.resident,
+            "depth": t.windows.depth,
+            "prw": t.windows.prw,
+            "stored": len(t.windows.store),
+        },
+    } for t in kernel.threads]
+
+    snap = kernel.counters.snapshot()
+    snap["per_thread_saves"] = _jsonable(snap["per_thread_saves"])
+    snap["per_thread_restores"] = _jsonable(snap["per_thread_restores"])
+
+    flight = getattr(kernel, "_flight", None)
+    events = ([_jsonable(e.to_dict()) for e in flight.tail()]
+              if flight is not None else [])
+
+    return {
+        "schema": BUNDLE_SCHEMA,
+        "version": BUNDLE_VERSION,
+        "error": error_doc,
+        "config": _jsonable(dict(config
+                                 if config is not None
+                                 else kernel.crash_config)),
+        "fault_plan": plan,
+        "machine": machine,
+        "threads": threads,
+        "counters": _jsonable(snap),
+        "steps": kernel._steps,
+        "events": events,
+    }
+
+
+def bundle_to_json(bundle: Dict[str, Any]) -> str:
+    return json.dumps(bundle, indent=2, sort_keys=True)
+
+
+def write_crash_bundle(directory, error: BaseException, kernel,
+                       config: Optional[Dict[str, Any]] = None) -> Path:
+    """Build and atomically write a bundle; returns its path.
+
+    The filename is ``crash-<errortype>-<content digest>.json`` so the
+    same failure always lands on the same file.
+    """
+    bundle = build_crash_bundle(error, kernel, config=config)
+    text = bundle_to_json(bundle)
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
+    name = "crash-%s-%s.json" % (bundle["error"]["type"].lower(), digest)
+    path = Path(directory) / name
+    atomic_write_text(path, text)
+    return path
+
+
+def load_bundle(path) -> Dict[str, Any]:
+    """Read and validate a crash bundle."""
+    bundle = json.loads(Path(path).read_text())
+    if bundle.get("schema") != BUNDLE_SCHEMA:
+        raise ValueError("not a %s document: schema=%r"
+                         % (BUNDLE_SCHEMA, bundle.get("schema")))
+    version = bundle.get("version")
+    if not isinstance(version, int) or version > BUNDLE_VERSION:
+        raise ValueError("unsupported crash-bundle version: %r"
+                         % (version,))
+    for section in ("error", "config", "machine", "threads"):
+        if section not in bundle:
+            raise ValueError("crash bundle missing %r section" % section)
+    return bundle
+
+
+# ---------------------------------------------------------------------------
+# replay
+
+
+def _spell_config_from(config: Dict[str, Any]):
+    """Rebuild the workload config a bundle's run used."""
+    from repro.apps.spellcheck.pipeline import SpellConfig
+
+    scale = float(config.get("scale", 1.0))
+    seed = int(config.get("seed", 1993))
+    if "m" in config and "n" in config:
+        return SpellConfig(m=int(config["m"]), n=int(config["n"]),
+                           scale=scale, seed=seed)
+    return SpellConfig.named(config.get("concurrency", "high"),
+                             config.get("granularity", "coarse"),
+                             scale=scale, seed=seed)
+
+
+def rerun_bundle_workload(config: Dict[str, Any],
+                          plan: Optional[FaultPlan],
+                          crash_dir) -> None:
+    """Re-execute the spellcheck workload a bundle describes, with the
+    same plan and kernel knobs; any crash lands a bundle in
+    ``crash_dir``.  Raises whatever the run raises."""
+    from repro.apps.spellcheck.pipeline import run_spellchecker
+    from repro.faults.inject import FaultInjector
+
+    workload = config.get("workload", "spellcheck")
+    if workload != "spellcheck":
+        raise ValueError("can only replay spellcheck bundles, got %r"
+                         % (workload,))
+    injector = FaultInjector(plan) if plan else None
+    run_spellchecker(
+        int(config["n_windows"]), config["scheme"],
+        _spell_config_from(config),
+        verify_registers=bool(config.get("verify_registers", True)),
+        faults=injector,
+        audit=bool(config.get("audit", False)),
+        watchdog=int(config.get("watchdog", 0)) or None,
+        crash_dir=crash_dir,
+        crash_config=config)
+
+
+def replay_bundle(path, workdir=None) -> Tuple[bool, Optional[Path], str]:
+    """Replay a bundle; returns ``(matched, new_path, detail)``.
+
+    ``matched`` is True when the rerun crashed and produced a
+    bit-for-bit identical bundle (same content digest, same file name).
+    ``workdir`` is where the replay bundle is written (default: the
+    original bundle's directory).
+    """
+    path = Path(path)
+    bundle = load_bundle(path)
+    plan = (FaultPlan.from_payload(bundle["fault_plan"])
+            if bundle.get("fault_plan") else None)
+    crash_dir = Path(workdir) if workdir is not None else path.parent
+    try:
+        rerun_bundle_workload(bundle["config"], plan, crash_dir)
+    except ReproError as exc:
+        new_path = getattr(exc, "bundle_path", None)
+        if new_path is None:
+            return False, None, ("rerun crashed (%s) but wrote no bundle"
+                                 % type(exc).__name__)
+        new_path = Path(new_path)
+        if new_path.read_text() == bundle_to_json(bundle):
+            return True, new_path, ("reproduced bit-for-bit: %s"
+                                    % new_path.name)
+        return False, new_path, (
+            "rerun crashed with %s but the bundle differs (%s)"
+            % (type(exc).__name__, new_path.name))
+    return False, None, "rerun completed without crashing"

@@ -43,6 +43,7 @@ EVENT_KINDS = (
     "yield",        # thread yielded the CPU         (tid)
     "retire",       # thread finished                (tid, name)
     "stream_close", # stream closed                  (stream, written, read)
+    "fault",        # injected fault fired           (tid, kind, at, site)
     "run_end",      # simulation finished            ()
 )
 
@@ -109,6 +110,32 @@ class EventBus:
         for __, fn in self._subscribers:
             fn(event)
         return event
+
+
+class RingRecorder:
+    """Bus subscriber that keeps only the last ``capacity`` events.
+
+    This is the kernel's crash-bundle flight recorder: cheap enough to
+    leave on for whole runs, and what it holds at the moment of a crash
+    is exactly the window of history worth dumping.
+    """
+
+    DEFAULT_CAPACITY = 256
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        from collections import deque
+
+        self.capacity = capacity
+        self._events = deque(maxlen=capacity)
+
+    def on_event(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def tail(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
 
 
 def percentile(values: List[float], q: float) -> float:

@@ -36,8 +36,15 @@ APPS = ("spellcheck", "pingpong", "forkjoin")
 
 def record_run(args):
     """Build the requested workload fully instrumented and run it."""
+    injector = None
+    if args.faults:
+        from repro.faults import FaultInjector, plan_from_arg
+        injector = FaultInjector(plan_from_arg(args.faults,
+                                               seed=args.seed))
     kernel = Kernel(n_windows=args.windows, scheme=args.scheme,
-                    verify_registers=False)
+                    verify_registers=injector is not None,
+                    faults=injector, audit=args.audit,
+                    watchdog=args.watchdog, crash_dir=args.crash_dir)
     recorder = kernel.enable_tracing()
     exporter = PerfettoExporter()
     kernel.events.subscribe(exporter)
@@ -67,9 +74,16 @@ def record_run(args):
         workload = {"app": "forkjoin", "children": 3,
                     "items": args.rounds}
 
-    result = kernel.run()
     config = dict(workload, scheme=args.scheme, n_windows=args.windows,
                   seed=args.seed)
+    if args.crash_dir is not None and args.app == "spellcheck":
+        kernel.crash_config = dict(config, workload="spellcheck",
+                                   verify_registers=injector is not None,
+                                   audit=args.audit,
+                                   watchdog=args.watchdog)
+    result = kernel.run()
+    if injector is not None:
+        print(injector.summary())
     return result, config, recorder, exporter, tracker, timeline
 
 
@@ -184,10 +198,38 @@ def main(argv=None) -> int:
                         help="write Chrome trace-event JSON here")
     parser.add_argument("--report", metavar="PATH", default=None,
                         help="write the RunReport JSON here")
+    parser.add_argument("--faults", metavar="PLAN", default=None,
+                        help="fault-injection plan, e.g. "
+                             "'register@3,wim@2' or 'random:4' "
+                             "(fault events land in --list output)")
+    parser.add_argument("--audit", action="store_true",
+                        help="run the full invariant check after every "
+                             "dispatch/call/return")
+    parser.add_argument("--watchdog", type=int, metavar="STEPS",
+                        default=None,
+                        help="raise LivelockError after this many steps "
+                             "without progress")
+    parser.add_argument("--crash-dir", metavar="DIR", default=None,
+                        help="write a replayable crash bundle here on "
+                             "any simulator error")
     args = parser.parse_args(argv)
 
-    result, config, recorder, exporter, tracker, timeline = \
-        record_run(args)
+    try:
+        result, config, recorder, exporter, tracker, timeline = \
+            record_run(args)
+    except Exception as exc:
+        from repro.errors import ReproError
+
+        if not isinstance(exc, ReproError):
+            raise
+        print("simulator fault: %s: %s" % (type(exc).__name__, exc),
+              file=sys.stderr)
+        bundle = getattr(exc, "bundle_path", None)
+        if bundle is not None:
+            print("crash bundle: %s" % bundle, file=sys.stderr)
+            print("replay with: python -m repro.faults replay %s"
+                  % bundle, file=sys.stderr)
+        return 1
 
     wrote = False
     if args.perfetto:

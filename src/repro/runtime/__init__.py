@@ -10,7 +10,11 @@ arise from real, data-dependent control flow, exactly as in the
 paper's evaluation (§5).
 """
 
-from repro.runtime.errors import DeadlockError, RuntimeFault
+from repro.runtime.errors import (
+    DeadlockError,
+    LivelockError,
+    RuntimeFault,
+)
 from repro.runtime.kernel import Kernel, RunResult
 from repro.runtime.ops import (
     Call,
@@ -37,6 +41,7 @@ from repro.runtime.thread import (
 
 __all__ = [
     "DeadlockError",
+    "LivelockError",
     "RuntimeFault",
     "Kernel",
     "RunResult",

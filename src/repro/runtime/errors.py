@@ -1,9 +1,36 @@
 """Runtime-level errors."""
 
+from __future__ import annotations
 
-class RuntimeFault(Exception):
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+
+
+class RuntimeFault(ReproError):
     """A thread or the kernel did something structurally invalid."""
 
 
 class DeadlockError(RuntimeFault):
-    """No thread is ready and at least one is blocked."""
+    """No thread is ready and at least one is blocked.
+
+    ``blocked`` (when the kernel raises it) holds one dict per blocked
+    thread: ``{"thread", "op", "on", "detail"}`` — the op it waits on,
+    the stream or thread it waits for, and the stream's fill state —
+    so bundles and messages both name exactly what wedged.
+    """
+
+    def __init__(self, message: str = "",
+                 blocked: Optional[List[Dict[str, Any]]] = None,
+                 **context: Any):
+        super().__init__(message, **context)
+        self.blocked = list(blocked or [])
+
+
+class LivelockError(RuntimeFault):
+    """The kernel kept stepping but no thread made progress.
+
+    Raised by the watchdog after ``max_stall`` consecutive steps with
+    no call, return, tick, spawn or completed blocking operation —
+    threads spinning through yields without ever moving data.
+    """

@@ -17,9 +17,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.core import make_scheme
+from repro.core.invariants import check_invariants
 from repro.core.scheme import Scheme
+from repro.errors import ReproError
 from repro.metrics.counters import Counters
-from repro.runtime.errors import DeadlockError, RuntimeFault
+from repro.runtime.errors import DeadlockError, LivelockError, RuntimeFault
 from repro.runtime.ops import (
     Call,
     CloseStream,
@@ -41,7 +43,7 @@ from repro.runtime.thread import (
     SimThread,
 )
 from repro.windows.cpu import WindowCPU
-from repro.windows.errors import WindowIntegrityError
+from repro.windows.errors import WindowError, WindowIntegrityError
 
 
 @dataclass
@@ -74,7 +76,11 @@ class Kernel:
                  queue_policy=None, cost_model=None,
                  counters: Optional[Counters] = None,
                  allocation=None, verify_registers: bool = True,
-                 scheme_kwargs: Optional[dict] = None):
+                 scheme_kwargs: Optional[dict] = None,
+                 faults=None, audit: bool = False,
+                 watchdog: Optional[int] = None,
+                 crash_dir=None,
+                 crash_config: Optional[dict] = None):
         self.counters = counters if counters is not None else Counters()
         self.cpu = WindowCPU(n_windows, cost_model, self.counters)
         kwargs = dict(scheme_kwargs or {})
@@ -100,6 +106,33 @@ class Kernel:
         self._timeline = None
         self._running = False
         self._steps = 0
+        #: progress clock: ticks, calls, returns, spawns and completed
+        #: blocking operations move it; yield storms do not
+        self._progress = 0
+        #: optional fault injector (see :mod:`repro.faults`), shared
+        #: with the CPU, the scheme's store paths and the ready queue
+        self.faults = faults
+        if faults is not None:
+            faults.bind(self.events)
+            self.cpu.faults = faults
+            self.ready.faults = faults
+        #: run check_invariants after every dispatch, call and return
+        self.audit = audit
+        self._watchdog = None
+        if watchdog:
+            from repro.faults.watchdog import Watchdog
+
+            self._watchdog = Watchdog(watchdog)
+        #: where crash bundles land (None: no bundles); crash_config is
+        #: embedded in the bundle so a replay can rebuild the workload
+        self.crash_dir = crash_dir
+        self.crash_config = dict(crash_config or {})
+        self._flight = None
+        if crash_dir is not None:
+            from repro.metrics.events import RingRecorder
+
+            self._flight = RingRecorder()
+            self.events.subscribe(self._flight)
 
     # -- observability ------------------------------------------------------
 
@@ -175,17 +208,27 @@ class Kernel:
     # -- main loop -----------------------------------------------------------
 
     def run(self, max_steps: Optional[int] = None) -> RunResult:
-        """Run every thread to completion; raises on deadlock."""
+        """Run every thread to completion; raises on deadlock.
+
+        Any escaping :class:`~repro.errors.ReproError` is enriched with
+        crash context (step, cycle, running thread, CWP) and — when
+        ``crash_dir`` is set — dumped as a replayable crash bundle whose
+        path lands on the exception as ``bundle_path``.
+        """
         self._running = True
+        try:
+            return self._run_to_completion(max_steps)
+        except ReproError as exc:
+            self._capture_crash(exc)
+            raise
+
+    def _run_to_completion(self, max_steps: Optional[int]) -> RunResult:
         while True:
             if self.current is None:
                 if not self.ready:
                     blocked = [t for t in self.threads if t.state == BLOCKED]
                     if blocked:
-                        raise DeadlockError(
-                            "no ready threads; blocked: %s" % ", ".join(
-                                "%s on %s" % (t.name, t.blocked_on)
-                                for t in blocked))
+                        raise self._deadlock_error(blocked)
                     break
                 self._dispatch(self.ready.pop())
             self._run_quantum(max_steps)
@@ -195,6 +238,64 @@ class Kernel:
             self.events.emit("run_end")
         return RunResult(self.counters, list(self.threads), self._steps,
                          list(self.ready.slackness_samples))
+
+    # -- failure reporting --------------------------------------------------
+
+    def _deadlock_error(self, blocked: List[SimThread]) -> DeadlockError:
+        """Build a DeadlockError naming every wedged thread and what it
+        waits for — including the fill state of the stream involved."""
+        details = []
+        for t in blocked:
+            pending = t.pending or (None,)
+            kind = pending[0]
+            if kind == "join":
+                target = pending[1]
+                entry = {"thread": t.name, "op": "join", "on": target.name,
+                         "detail": "target is %s" % target.state}
+            elif kind in ("read", "readline", "write"):
+                stream = pending[1]
+                if kind == "write":
+                    state = "full" if stream.is_full else (
+                        "%d/%d bytes buffered"
+                        % (len(stream), stream.capacity))
+                else:
+                    state = "empty" if stream.is_empty else (
+                        "%d bytes buffered" % len(stream))
+                if stream.closed:
+                    state += ", closed"
+                entry = {"thread": t.name, "op": kind,
+                         "on": stream.name or "stream",
+                         "detail": "stream %s (capacity %d)"
+                                   % (state, stream.capacity)}
+            else:
+                entry = {"thread": t.name, "op": kind or "?",
+                         "on": t.blocked_on or "?", "detail": ""}
+            details.append(entry)
+        lines = "; ".join(
+            "%s waits to %s %r (%s)" % (d["thread"], d["op"], d["on"],
+                                        d["detail"])
+            if d["detail"] else
+            "%s waits to %s %r" % (d["thread"], d["op"], d["on"])
+            for d in details)
+        return DeadlockError(
+            "deadlock: no ready threads; blocked: %s" % lines,
+            blocked=details, threads=len(self.threads),
+            blocked_count=len(details))
+
+    def _capture_crash(self, exc: ReproError) -> None:
+        """Enrich an escaping error and (optionally) write its bundle."""
+        running = self.current
+        exc.with_context(step=self._steps,
+                         cycle=self.counters.total_cycles)
+        if running is not None:
+            exc.with_context(thread=running.name, cwp=self.cpu.wf.cwp)
+        if self.faults is not None and self.faults.fired:
+            exc.with_context(faults_fired=len(self.faults.fired))
+        exc.bundle_path = None
+        if self.crash_dir is not None:
+            from repro.faults.bundle import write_crash_bundle
+
+            exc.bundle_path = write_crash_bundle(self.crash_dir, exc, self)
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -214,6 +315,18 @@ class Kernel:
         if self.events.active:
             self.events.emit("dispatch", tid=thread.tid,
                              depth=thread.windows.depth)
+        if self.audit:
+            self._audit()
+
+    def _audit(self) -> None:
+        """Continuous invariant audit: the full geometry check after
+        every dispatch, call and return (expensive; opt-in)."""
+        try:
+            check_invariants(self.cpu, self.scheme,
+                             [t.windows for t in self.threads])
+        except WindowError as exc:
+            raise exc.with_context(audit=True, step=self._steps,
+                                   cycle=self.counters.total_cycles)
 
     # -- quantum execution ----------------------------------------------------------
 
@@ -224,14 +337,27 @@ class Kernel:
         tw = thread.windows
         cpu = self.cpu
         verify = self.verify_registers
+        watchdog = self._watchdog
         while True:
             self._steps += 1
             if max_steps is not None and self._steps >= max_steps:
                 return
+            if watchdog is not None and watchdog.expired(self._progress,
+                                                         self._steps):
+                raise LivelockError(
+                    "no progress for %d steps (watchdog max_stall=%d); "
+                    "threads: %s" % (
+                        watchdog.stalled_for(self._progress, self._steps),
+                        watchdog.max_stall,
+                        ", ".join("%s=%s" % (t.name, t.state)
+                                  for t in self.threads)),
+                    max_stall=watchdog.max_stall,
+                    progress=self._progress)
             if thread.pending is not None:
                 if not self._continue_pending(thread):
                     self._block(thread)
                     return
+                self._progress += 1
             gen = thread.gen_stack[-1]
             try:
                 cmd = gen.send(thread.resume_value)
@@ -243,6 +369,7 @@ class Kernel:
             t = type(cmd)
             if t is Tick:
                 cpu.tick(cmd.cycles)
+                self._progress += 1
             elif t is Call:
                 self._do_call(thread, cmd)
             elif t is Read:
@@ -267,6 +394,7 @@ class Kernel:
             elif t is Spawn:
                 thread.resume_value = self._spawn(
                     cmd.factory, cmd.args, cmd.name)
+                self._progress += 1
             elif t is Join:
                 if cmd.thread is thread:
                     raise RuntimeFault(
@@ -281,6 +409,7 @@ class Kernel:
 
     def _do_call(self, thread: SimThread, cmd: Call) -> None:
         thread.calls += 1
+        self._progress += 1
         cpu = self.cpu
         tw = thread.windows
         args = cmd.args
@@ -294,14 +423,18 @@ class Kernel:
                 if got is not a and got != a:
                     raise WindowIntegrityError(
                         "argument %d of %s corrupted across save: %r != %r"
-                        % (i, thread.name, got, a))
+                        % (i, thread.name, got, a),
+                        thread=thread.name, argument=i, depth=tw.depth)
             cpu.write_local(0, ("sig", thread.tid, tw.depth))
+        if self.audit:
+            self._audit()
         thread.gen_stack.append(cmd.factory(*args))
         thread.resume_value = None
 
     def _handle_return(self, thread: SimThread, value: Any) -> bool:
         """Pop a finished procedure; True when the thread is done."""
         thread.gen_stack.pop()
+        self._progress += 1
         tw = thread.windows
         cpu = self.cpu
         if not thread.gen_stack:
@@ -331,10 +464,19 @@ class Kernel:
             if sig != ("sig", thread.tid, tw.depth):
                 raise WindowIntegrityError(
                     "thread %s frame signature corrupted: %r at depth %d"
-                    % (thread.name, sig, tw.depth))
+                    % (thread.name, sig, tw.depth),
+                    thread=thread.name, depth=tw.depth)
         cpu.write_in(0, value)
         cpu.restore(tw)
-        thread.resume_value = cpu.read_out(0)
+        got = cpu.read_out(0)
+        if self.verify_registers and got is not value and got != value:
+            raise WindowIntegrityError(
+                "return value of %s corrupted across restore: %r != %r"
+                % (thread.name, got, value),
+                thread=thread.name, depth=tw.depth)
+        thread.resume_value = got
+        if self.audit:
+            self._audit()
         return False
 
     # -- blocking stream operations ------------------------------------------------

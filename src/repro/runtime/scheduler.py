@@ -26,6 +26,8 @@ class ReadyQueue:
         self.sample_slackness = False
         #: trace-event bus (wired by the kernel; None when standalone)
         self.events = None
+        #: optional fault injector; its enqueue hook may perturb order
+        self.faults = None
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -66,6 +68,8 @@ class ReadyQueue:
         if events is not None and events.active:
             events.emit("enqueue", tid=thread.tid, reason=reason,
                         position=position, depth=len(self._queue))
+        if self.faults is not None:
+            self.faults.on_enqueue(self)
 
     def pop(self) -> SimThread:
         if self.sample_slackness:

@@ -38,6 +38,9 @@ class WindowCPU:
         self.scheme = None
         #: the thread currently executing on this CPU
         self.current: Optional[ThreadWindows] = None
+        #: optional :class:`repro.faults.inject.FaultInjector`; its
+        #: hooks fire inside save/restore and the scheme's store paths
+        self.faults = None
 
     @property
     def n_windows(self) -> int:
@@ -59,15 +62,26 @@ class WindowCPU:
         """
         self._check_running(tw)
         wf = self.wf
+        faults = self.faults
+        if faults is not None:
+            faults.on_save(self, tw)
         self.counters.record_save(tw.tid)
         self.counters.record_call_cycles(self.cost.save_instr)
         target = wf.above(wf.cwp)
         if wf.is_invalid(target):
-            self.scheme.handle_overflow(tw)
-            target = wf.above(wf.cwp)
-            if wf.is_invalid(target):
-                raise WindowGeometryError(
-                    "overflow handler left target window %d invalid" % target)
+            action = (faults.take_trap_action(tw)
+                      if faults is not None else None)
+            if action != "drop":
+                self.scheme.handle_overflow(tw)
+                if action == "dup":
+                    self.scheme.handle_overflow(tw)
+                target = wf.above(wf.cwp)
+                if wf.is_invalid(target):
+                    raise WindowGeometryError(
+                        "overflow handler left target window %d invalid"
+                        % target, window=target, thread=tw.tid)
+            # a dropped trap falls through: the save runs straight into
+            # the invalid window, exactly the hardware failure mode
         wf.cwp = target
         tw.cwp = target
         tw.resident += 1
@@ -88,6 +102,8 @@ class WindowCPU:
         if tw.depth <= 1:
             raise WindowGeometryError(
                 "thread %d executed restore at depth %d" % (tw.tid, tw.depth))
+        if self.faults is not None:
+            self.faults.on_restore(self, tw)
         wf = self.wf
         self.counters.record_restore(tw.tid)
         self.counters.record_call_cycles(self.cost.restore_instr)

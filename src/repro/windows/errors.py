@@ -1,7 +1,9 @@
 """Exceptions raised by the window substrate."""
 
+from repro.errors import ReproError
 
-class WindowError(Exception):
+
+class WindowError(ReproError):
     """Base class for register-window simulation errors."""
 
 

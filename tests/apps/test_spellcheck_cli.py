@@ -24,6 +24,32 @@ def test_cli_checks_a_real_file(tmp_path, capsys):
     assert "window" not in out.splitlines()[1:]  # known words accepted
 
 
+def test_cli_survivable_fault_reports_summary(capsys):
+    assert main(["--scale", "0.02", "--faults", "sched@2"]) == 0
+    out = capsys.readouterr().out
+    assert "faults fired: sched@2/enqueue" in out
+    assert "possibly-misspelled words" in out
+
+
+def test_cli_detected_fault_writes_bundle(tmp_path, capsys):
+    code = main(["--scale", "0.05", "--windows", "6",
+                 "--faults", "retval@5", "--audit",
+                 "--crash-dir", str(tmp_path)])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "simulator fault: WindowIntegrityError" in err
+    assert "crash bundle: " in err
+    assert "python -m repro.faults replay" in err
+    bundles = list(tmp_path.glob("crash-*.json"))
+    assert len(bundles) == 1
+
+    from repro.faults import replay_bundle
+
+    matched, __, detail = replay_bundle(bundles[0],
+                                        workdir=tmp_path / "replay")
+    assert matched, detail
+
+
 def test_check_document_scheme_independent():
     dict1, dict2, __ = generate_dictionaries(size=1500)
     document = (b"the window thread xqzzk processor \\cite{foo} "

@@ -79,3 +79,71 @@ class TestDetectsCorruption:
         tw.store.frames[0].depth = 5
         with pytest.raises(WindowGeometryError):
             check(cpu, scheme)
+
+
+class TestFailureContext:
+    """Every violation carries machine-readable context (the crash
+    bundle serialises it, the CLI renders it as a [k=v] suffix)."""
+
+    def test_map_frame_mismatch_context(self):
+        cpu, scheme, tw = build()
+        cpu.map.set_free(tw.cwp)
+        with pytest.raises(WindowGeometryError) as info:
+            check(cpu, scheme)
+        err = info.value
+        assert err.context["window"] == tw.cwp
+        assert err.context["thread"] == tw.tid
+        assert err.context["map_kind"] == "free"
+
+    def test_double_claim_context(self):
+        cpu, scheme, t1 = build("SNP")
+        t2 = new_thread(scheme, 1)
+        t2.cwp = t1.cwp
+        t2.bottom = t1.cwp
+        t2.resident = 1
+        t2.depth = 1
+        with pytest.raises(WindowGeometryError) as info:
+            check(cpu, scheme)
+        err = info.value
+        assert err.context["window"] == t1.cwp
+        assert "thread" in err.context
+        assert "claimed_by" in err.context
+
+    def test_hardware_cwp_desync_context(self):
+        cpu, scheme, tw = build("SP")
+        cpu.wf.cwp = cpu.wf.below(cpu.wf.cwp)
+        with pytest.raises(WindowGeometryError) as info:
+            check(cpu, scheme)
+        err = info.value
+        assert err.context["thread"] == tw.tid
+        assert err.context["hardware_cwp"] == cpu.wf.cwp
+        assert err.context["thread_cwp"] == tw.cwp
+
+    def test_wim_corruption_context(self):
+        cpu, scheme, tw = build("SNP")
+        cpu.wf.mark_invalid(tw.cwp)
+        with pytest.raises(WindowGeometryError) as info:
+            check(cpu, scheme)
+        err = info.value
+        assert err.context == {"thread": tw.tid, "window": tw.cwp}
+
+    def test_stored_depth_gap_context(self):
+        cpu, scheme, tw = build("SP", n=5, depth=8)
+        tw.store.frames[0].depth = 5
+        with pytest.raises(WindowGeometryError) as info:
+            check(cpu, scheme)
+        err = info.value
+        assert err.context["thread"] == tw.tid
+        assert err.context["frame"] == 0
+        assert err.context["depth"] == 5
+        assert err.context["expected_depth"] == 1
+
+    def test_context_is_rendered_in_str(self):
+        cpu, scheme, tw = build("SP")
+        cpu.wf.cwp = cpu.wf.below(cpu.wf.cwp)
+        with pytest.raises(WindowGeometryError) as info:
+            check(cpu, scheme)
+        text = str(info.value)
+        assert text.endswith("]") and "[" in text
+        assert "hardware_cwp=" in text
+        assert "thread=%d" % tw.tid in text

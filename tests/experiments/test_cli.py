@@ -60,3 +60,21 @@ def test_no_cache_forces_execution(capsys):
 def test_unknown_target_rejected():
     with pytest.raises(SystemExit):
         main(["fig99"])
+
+
+def test_keep_going_quarantines_and_names_the_manifest(capsys):
+    assert main(["fig13", "--scale", "0.02", "--windows", "6",
+                 "--jobs", "2", "--faults", "retval@5",
+                 "--keep-going", "--retries", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "quarantined" in out
+    assert "failure manifest: " in out
+
+
+def test_injected_fault_without_keep_going_fails_loudly(capsys):
+    from repro.experiments.engine import EngineError
+
+    with pytest.raises(EngineError) as info:
+        main(["fig13", "--scale", "0.02", "--windows", "6",
+              "--faults", "retval@5", "--retries", "1"])
+    assert "WindowIntegrityError" in str(info.value)

@@ -227,6 +227,139 @@ class TestEngine:
         assert "0 executed" in line
 
 
+class TestFailurePolicy:
+    """Retry classification, graceful degradation and the manifest."""
+
+    def fatal_runner(self, task):
+        index, __ = task
+        return index, None, {
+            "type": "WindowIntegrityError", "transient": False,
+            "traceback": "Traceback ...\nWindowIntegrityError: boom\n"}
+
+    def test_fatal_failure_is_never_retried(self):
+        calls = []
+
+        def runner(task):
+            calls.append(task[0])
+            return self.fatal_runner(task)
+
+        engine = Engine(jobs=1, cache_dir=None, retries=3, runner=runner)
+        with pytest.raises(EngineError):
+            engine.run_reports([SPEC])
+        assert calls == [0]  # deterministic failure: one attempt only
+        failure = engine.last_stats.failures[0]
+        assert failure.attempts == 1
+        assert failure.transient is False
+        assert failure.error_type == "WindowIntegrityError"
+
+    def test_transient_failure_is_retried(self):
+        calls = []
+
+        def runner(task):
+            calls.append(task[0])
+            return task[0], None, {
+                "type": "InjectedStoreError", "transient": True,
+                "traceback": "Traceback ...\nInjectedStoreError: io\n"}
+
+        engine = Engine(jobs=1, cache_dir=None, retries=2, runner=runner)
+        with pytest.raises(EngineError):
+            engine.run_reports([SPEC])
+        assert calls == [0, 0, 0]  # initial attempt + both retries
+        assert engine.last_stats.failures[0].attempts == 3
+        assert engine.last_stats.failures[0].transient is True
+
+    def test_legacy_string_errors_stay_retryable(self):
+        calls = []
+
+        def runner(task):
+            calls.append(task[0])
+            return task[0], None, "Traceback ...\nOSError: flake\n"
+
+        engine = Engine(jobs=1, cache_dir=None, retries=1, runner=runner)
+        with pytest.raises(EngineError):
+            engine.run_reports([SPEC])
+        assert calls == [0, 0]
+
+    def test_keep_going_quarantines_and_returns_holes(self, tmp_path):
+        specs = sweep_specs("high", "fine", [4, 6], ("NS", "SP"), 0.02)
+        victim = specs[1].label
+
+        def runner(task):
+            index, payload = task
+            if PointSpec.from_payload(payload).label == victim:
+                return self.fatal_runner(task)
+            return fake_runner(task)
+
+        engine = Engine(jobs=1, cache_dir=tmp_path, runner=runner,
+                        keep_going=True)
+        reports = engine.run_reports(specs)
+        assert reports[1] is None
+        assert [r is None for r in reports] == [
+            s.label == victim for s in specs]
+        for spec, report in zip(specs, reports):
+            if report is not None:
+                assert report == fake_report(spec)
+        assert "quarantined" in engine.last_stats.summary(engine.jobs)
+        manifest = json.loads(
+            engine.failure_manifest_path().read_text())
+        assert manifest["schema"] == "repro.failure-manifest"
+        assert [f["label"] for f in manifest["failures"]] == [victim]
+        assert manifest["failures"][0]["transient"] is False
+        assert manifest["failures"][0]["attempts"] == 1
+
+    def test_keep_going_run_points_maps_holes(self, tmp_path):
+        engine = Engine(jobs=1, cache_dir=None, runner=self.fatal_runner,
+                        keep_going=True,
+                        manifest_path=tmp_path / "failures.json")
+        points = engine.run_points([SPEC])
+        assert points == [None]
+        assert (tmp_path / "failures.json").is_file()
+
+    def test_quarantined_points_are_not_cached(self, tmp_path):
+        engine = Engine(jobs=1, cache_dir=tmp_path,
+                        runner=self.fatal_runner, keep_going=True)
+        engine.run_reports([SPEC])
+        assert cache_key(SPEC) not in engine.cache
+
+    def test_spec_defaults_are_applied(self):
+        seen = []
+
+        def runner(task):
+            index, payload = task
+            seen.append(PointSpec.from_payload(payload))
+            return fake_runner(task)
+
+        engine = Engine(jobs=1, cache_dir=None, runner=runner,
+                        spec_defaults={"faults": "store_fail@2",
+                                       "audit": True})
+        engine.run_reports([SPEC])
+        assert seen[0].faults == "store_fail@2"
+        assert seen[0].audit is True
+        assert seen[0].n_windows == SPEC.n_windows
+
+    def test_fault_fields_change_the_cache_key(self):
+        variants = [
+            PointSpec("SP", 8, "high", "fine", 0.02, faults="wim@1"),
+            PointSpec("SP", 8, "high", "fine", 0.02, fault_seed=7),
+            PointSpec("SP", 8, "high", "fine", 0.02, audit=True),
+            PointSpec("SP", 8, "high", "fine", 0.02, watchdog=500),
+        ]
+        keys = {cache_key(v) for v in variants} | {cache_key(SPEC)}
+        assert len(keys) == len(variants) + 1
+
+    def test_timeout_is_injected_into_payloads(self):
+        payloads = []
+
+        def runner(task):
+            payloads.append(dict(task[1]))
+            return fake_runner(task)
+
+        engine = Engine(jobs=1, cache_dir=None, runner=runner,
+                        timeout=2.5)
+        engine.run_reports([SPEC])
+        assert payloads[0]["_timeout"] == 2.5
+
+
 class TestSweepSpecs:
     def test_sp_minimum_windows(self):
         specs = sweep_specs("high", "fine", [3, 4], ("SP", "SNP"), 0.02)

@@ -54,3 +54,25 @@ class TestTraceCli:
         report = from_json(report_path.read_text())
         assert len(report["threads"]) == 7  # the paper's 7-thread pipeline
         assert report["config"]["app"] == "spellcheck"
+
+
+class TestTraceCliFaults:
+    def test_fault_events_visible_in_list(self, capsys):
+        assert main(["--scale", "0.02", "--faults",
+                     "sched@2,store_delay@1", "--list",
+                     "--kind", "fault"]) == 0
+        out = capsys.readouterr().out
+        assert "faults fired: " in out
+        assert "fault=sched" in out
+        assert "fault=store_delay" in out
+
+    def test_detected_fault_exits_nonzero_with_bundle(self, capsys,
+                                                      tmp_path):
+        code = main(["--scale", "0.05", "--windows", "6",
+                     "--faults", "retval@5", "--audit",
+                     "--crash-dir", str(tmp_path)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "simulator fault: WindowIntegrityError" in err
+        assert "python -m repro.faults replay" in err
+        assert list(tmp_path.glob("crash-*.json"))
