@@ -1,0 +1,4 @@
+from benchmarks.perf.bench import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

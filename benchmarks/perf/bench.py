@@ -1,0 +1,272 @@
+"""Measure simulator throughput and compare against the tracked baseline.
+
+Two measurements, both against the spell-checker workload (the paper's
+evaluation program):
+
+* **micro** — steps/sec of one end-to-end run per (scheme, window
+  count) point: NS/SNP/SP at 8 and 32 windows.  ``steps`` is the
+  kernel's own step counter, so the number is a direct measure of
+  simulator (not workload) throughput and is comparable across PRs as
+  long as the counters stay bit-identical — which the differential and
+  golden suites enforce.
+* **sweep** — wall-clock of the full Table-2-style grid (3 schemes x
+  {high, low} concurrency x {coarse, medium, fine} granularity) through
+  the serial harness, i.e. what one engine worker pays per grid.
+
+The committed baseline lives at the repo root as ``BENCH_5.json``.
+``--check`` fails (exit 1) when the current tree's headline steps/sec
+or sweep throughput regresses more than ``--tolerance`` (default 20%,
+override with ``REPRO_BENCH_TOLERANCE``) against it; ``--update``
+rewrites the baseline, preserving the recorded pre-optimization
+reference numbers under ``baseline_pre_pr``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.apps.spellcheck import SpellConfig, run_spellchecker
+from repro.experiments.harness import run_point
+from repro.ioutil import atomic_write_text
+
+SCHEMA_NAME = "repro.bench"
+SCHEMA_VERSION = 1
+
+#: the committed baseline this suite checks against (repo root)
+BASELINE_PATH = Path(__file__).resolve().parents[2] / "BENCH_5.json"
+
+SCHEMES = ("NS", "SNP", "SP")
+MICRO_WINDOWS = (8, 32)
+MICRO_CONCURRENCY = "high"
+MICRO_GRANULARITY = "medium"
+
+DEFAULT_MICRO_SCALE = 0.25
+DEFAULT_SWEEP_SCALE = 0.05
+DEFAULT_REPEATS = 3
+DEFAULT_TOLERANCE = 0.20
+
+SWEEP_GRID = [(scheme, concurrency, granularity)
+              for scheme in SCHEMES
+              for concurrency in ("high", "low")
+              for granularity in ("coarse", "medium", "fine")]
+SWEEP_WINDOWS = 8
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    return float(raw) if raw else default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    return int(raw) if raw else default
+
+
+def bench_micro_point(scheme: str, n_windows: int, scale: float,
+                      repeats: int) -> Dict[str, object]:
+    """Best-of-``repeats`` steps/sec for one (scheme, windows) point."""
+    config = SpellConfig.named(MICRO_CONCURRENCY, MICRO_GRANULARITY,
+                               scale=scale)
+    best = None
+    steps = 0
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result, _out = run_spellchecker(n_windows, scheme, config)
+        elapsed = time.perf_counter() - start
+        steps = result.steps
+        if best is None or elapsed < best:
+            best = elapsed
+    assert best is not None and best > 0
+    return {
+        "scheme": scheme,
+        "n_windows": n_windows,
+        "steps": steps,
+        "wall_s": round(best, 6),
+        "steps_per_sec": round(steps / best, 1),
+    }
+
+
+def bench_sweep(scale: float) -> Dict[str, object]:
+    """Wall-clock of the full scheme x concurrency x granularity grid."""
+    start = time.perf_counter()
+    for scheme, concurrency, granularity in SWEEP_GRID:
+        run_point(scheme, SWEEP_WINDOWS, concurrency, granularity,
+                  scale=scale)
+    elapsed = time.perf_counter() - start
+    return {
+        "points": len(SWEEP_GRID),
+        "n_windows": SWEEP_WINDOWS,
+        "wall_s": round(elapsed, 6),
+        "points_per_sec": round(len(SWEEP_GRID) / elapsed, 3),
+    }
+
+
+def run_suite(micro_scale: Optional[float] = None,
+              sweep_scale: Optional[float] = None,
+              repeats: Optional[int] = None,
+              quiet: bool = False) -> Dict[str, object]:
+    """Run the full suite and return the benchmark document."""
+    micro_scale = (micro_scale if micro_scale is not None
+                   else _env_float("REPRO_BENCH_SCALE", DEFAULT_MICRO_SCALE))
+    sweep_scale = (sweep_scale if sweep_scale is not None
+                   else _env_float("REPRO_BENCH_SWEEP_SCALE",
+                                   DEFAULT_SWEEP_SCALE))
+    repeats = (repeats if repeats is not None
+               else _env_int("REPRO_BENCH_REPEATS", DEFAULT_REPEATS))
+
+    micro: List[Dict[str, object]] = []
+    for scheme in SCHEMES:
+        for n_windows in MICRO_WINDOWS:
+            point = bench_micro_point(scheme, n_windows, micro_scale,
+                                      repeats)
+            micro.append(point)
+            if not quiet:
+                print("micro %-3s w=%-2d  %8d steps  %7.3fs  %10.0f steps/s"
+                      % (scheme, n_windows, point["steps"],
+                         point["wall_s"], point["steps_per_sec"]))
+
+    total_steps = sum(p["steps"] for p in micro)
+    total_wall = sum(p["wall_s"] for p in micro)
+    headline = round(total_steps / total_wall, 1)
+
+    sweep = bench_sweep(sweep_scale)
+    if not quiet:
+        print("sweep %d points in %.3fs (%.2f points/s)"
+              % (sweep["points"], sweep["wall_s"],
+                 sweep["points_per_sec"]))
+        print("headline spellcheck steps/sec: %.0f" % headline)
+
+    return {
+        "schema": SCHEMA_NAME,
+        "version": SCHEMA_VERSION,
+        "bench_id": "BENCH_5",
+        "settings": {
+            "micro_scale": micro_scale,
+            "sweep_scale": sweep_scale,
+            "repeats": repeats,
+            "concurrency": MICRO_CONCURRENCY,
+            "granularity": MICRO_GRANULARITY,
+            "python": platform.python_version(),
+        },
+        "micro": micro,
+        "spellcheck_steps_per_sec": headline,
+        "sweep": sweep,
+    }
+
+
+def load_baseline(path: Optional[Path] = None) -> Dict[str, object]:
+    path = Path(path) if path is not None else BASELINE_PATH
+    doc = json.loads(path.read_text())
+    if doc.get("schema") != SCHEMA_NAME:
+        raise ValueError("not a %s document: %r"
+                         % (SCHEMA_NAME, doc.get("schema")))
+    return doc
+
+
+def check_against_baseline(current: Dict[str, object],
+                           baseline: Dict[str, object],
+                           tolerance: float) -> List[str]:
+    """Regressions beyond ``tolerance``, as readable failure lines."""
+    failures = []
+
+    def compare(label: str, now: float, then: float) -> None:
+        if then <= 0:
+            return
+        floor = then * (1.0 - tolerance)
+        if now < floor:
+            failures.append(
+                "%s regressed: %.0f -> %.0f (-%.1f%%, tolerance %.0f%%)"
+                % (label, then, now, 100.0 * (1.0 - now / then),
+                   100.0 * tolerance))
+
+    compare("spellcheck steps/sec",
+            float(current["spellcheck_steps_per_sec"]),
+            float(baseline["spellcheck_steps_per_sec"]))
+    base_micro = {(p["scheme"], p["n_windows"]): p
+                  for p in baseline.get("micro", [])}
+    for point in current["micro"]:
+        key = (point["scheme"], point["n_windows"])
+        if key in base_micro:
+            compare("micro %s w=%d steps/sec" % key,
+                    float(point["steps_per_sec"]),
+                    float(base_micro[key]["steps_per_sec"]))
+    if "sweep" in baseline:
+        compare("sweep points/sec",
+                float(current["sweep"]["points_per_sec"]),
+                float(baseline["sweep"]["points_per_sec"]))
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf",
+        description="simulator throughput suite (see BENCH_5.json)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if the tree regresses vs the baseline")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline path (default: repo BENCH_5.json)")
+    parser.add_argument("--out", default=None,
+                        help="also write the measured document here")
+    parser.add_argument("--tolerance", type=float,
+                        default=_env_float("REPRO_BENCH_TOLERANCE",
+                                           DEFAULT_TOLERANCE),
+                        help="allowed fractional regression for --check")
+    parser.add_argument("--micro-scale", type=float, default=None)
+    parser.add_argument("--sweep-scale", type=float, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    current = run_suite(micro_scale=args.micro_scale,
+                        sweep_scale=args.sweep_scale,
+                        repeats=args.repeats)
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else BASELINE_PATH)
+
+    if args.out:
+        atomic_write_text(Path(args.out),
+                          json.dumps(current, indent=2, sort_keys=True)
+                          + "\n")
+        print("wrote %s" % args.out)
+
+    if args.update:
+        if baseline_path.exists():
+            old = load_baseline(baseline_path)
+            if "baseline_pre_pr" in old:
+                current["baseline_pre_pr"] = old["baseline_pre_pr"]
+        atomic_write_text(baseline_path,
+                          json.dumps(current, indent=2, sort_keys=True)
+                          + "\n")
+        print("baseline updated: %s" % baseline_path)
+        return 0
+
+    if args.check:
+        if not baseline_path.exists():
+            print("no baseline at %s; run with --update first"
+                  % baseline_path, file=sys.stderr)
+            return 2
+        baseline = load_baseline(baseline_path)
+        failures = check_against_baseline(current, baseline,
+                                          args.tolerance)
+        if failures:
+            for line in failures:
+                print("FAIL: %s" % line, file=sys.stderr)
+            return 1
+        print("bench check OK: headline %.0f steps/s vs baseline %.0f "
+              "(tolerance %.0f%%)"
+              % (current["spellcheck_steps_per_sec"],
+                 baseline["spellcheck_steps_per_sec"],
+                 100.0 * args.tolerance))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.scheme import Scheme
+from repro.metrics.counters import TrapRecord
 from repro.windows.errors import WindowGeometryError, WindowIntegrityError
+from repro.windows.occupancy import FRAME, FREE, RESERVED
 from repro.windows.thread_windows import ThreadWindows
 
 
@@ -42,7 +44,15 @@ class NSScheme(Scheme):
         self.transfer_depth = transfer_depth
         self.reserved = 0
         self.map.set_reserved(self.reserved)
-        self.wf.set_wim({self.reserved})
+        self.wf.set_wim_only(self.reserved)
+        #: trap costs for 1..transfer_depth windows, cached off the
+        #: (frozen) cost model at construction (index 0 unused)
+        self._overflow_costs = [0] + [
+            self.cost.overflow_cost_multi(k)
+            for k in range(1, transfer_depth + 1)]
+        self._underflow_costs = [0] + [
+            self.cost.underflow_conventional_multi(k)
+            for k in range(1, transfer_depth + 1)]
 
     # -- traps (basic algorithm, §2) ----------------------------------------
 
@@ -64,10 +74,19 @@ class NSScheme(Scheme):
         self.map.set_free(self.reserved)
         self.map.set_reserved(new_reserved)
         self.reserved = new_reserved
-        self.wf.set_wim({self.reserved})
-        cycles = self.cost.overflow_cost_multi(spills)
-        self.counters.record_trap("overflow", tw.tid, cycles, spilled=True)
-        if self.events.active:
+        wf = self.wf
+        wim = wf._wim
+        wim[:] = wf._all_valid
+        wim[new_reserved] = 1
+        cycles = self._overflow_costs[spills]
+        counters = self.counters
+        counters.overflow_traps += 1
+        counters.windows_spilled += 1
+        counters.trap_cycles += cycles
+        if counters.keep_trace:
+            counters.trap_trace.append(
+                TrapRecord("overflow", tw.tid, True, False, cycles))
+        if self._tracing:
             self.events.emit("overflow", tid=tw.tid, spilled=spills,
                              cycles=cycles)
 
@@ -90,38 +109,58 @@ class NSScheme(Scheme):
                 "NS underflow with an empty backing store")
         # Innermost stored frame goes to the target window, the next
         # ones (read-ahead, transfer_depth > 1) below it.
+        regs = wf._regs
+        in_base = wf._in_base
+        below = wf._below
+        kinds = self.map._kind
+        tids = self.map._tid
+        frames = tw.store.frames
         w = target
         for i in range(restores):
-            frame = tw.store.pop()
+            frame = frames.pop()
             expected = tw.depth - 1 - i
             if frame.depth >= 0 and frame.depth != expected:
                 raise WindowIntegrityError(
                     "thread %d restored frame of depth %d at depth %d"
                     % (tw.tid, frame.depth, expected))
-            wf.load(w, frame)
-            self.map.set_frame(w, tw.tid)
+            base = in_base[w]
+            mid = base + 8
+            regs[base:mid] = frame.ins
+            regs[mid:mid + 8] = frame.local_regs
+            wf.release_frame(frame)
+            kinds[w] = FRAME
+            tids[w] = tw.tid
             last = w
-            w = wf.below(w)
+            w = below[w]
         # The callee's window is vacated; the caller's frame now lives
         # in what was the reserved window.
-        self.map.set_free(wf.cwp)
+        kinds[wf.cwp] = FREE
+        tids[wf.cwp] = None
         wf.cwp = target
         tw.cwp = target
         tw.bottom = last
         tw.resident = restores
         tw.depth -= 1
-        new_reserved = wf.below(last)
-        if not self.map.is_free(new_reserved):
+        new_reserved = below[last]
+        if kinds[new_reserved] is not FREE:
             raise WindowGeometryError(
                 "NS: window %d below the restored frames is %s"
                 % (new_reserved, self.map.kind(new_reserved)))
-        self.map.set_reserved(new_reserved)
+        kinds[new_reserved] = RESERVED
+        tids[new_reserved] = None
         self.reserved = new_reserved
-        self.wf.set_wim({self.reserved})
-        cycles = self.cost.underflow_conventional_multi(restores)
-        self.counters.record_trap("underflow", tw.tid, cycles,
-                                  restored=True)
-        if self.events.active:
+        wim = wf._wim
+        wim[:] = wf._all_valid
+        wim[new_reserved] = 1
+        cycles = self._underflow_costs[restores]
+        counters = self.counters
+        counters.underflow_traps += 1
+        counters.windows_restored += 1
+        counters.trap_cycles += cycles
+        if counters.keep_trace:
+            counters.trap_trace.append(
+                TrapRecord("underflow", tw.tid, False, True, cycles))
+        if self._tracing:
             self.events.emit("underflow", tid=tw.tid, restored=restores,
                              cycles=cycles, inplace=False)
 
@@ -131,30 +170,117 @@ class NSScheme(Scheme):
                        in_tw: ThreadWindows,
                        flush_out: bool = False) -> None:
         # NS always flushes; the flush_out hint (§4.4) changes nothing.
+        # The whole switch — flush-all, single-frame install, outs
+        # restore, WIM rebuild — runs against the flat register file
+        # and the raw occupancy arrays: this is the hottest loop of the
+        # NS evaluation sweeps (one flush per quantum, §6.2).
+        wf = self.wf
+        regs = wf._regs
+        wmap = self.map
+        kinds = wmap._kind
+        tids = wmap._tid
+        fault_store = self.cpu._fault_store
         saves = 0
-        if out_tw is not None and out_tw.has_windows:
-            saves = self._flush_all(out_tw)
-        top = self.wf.above(self.reserved)
-        if not self.map.is_free(top):
+        if out_tw is not None and out_tw.resident > 0:
+            ob = wf._out_base[out_tw.cwp]
+            out_tw.saved_outs = regs[ob:ob + 8]
+            saves = self._flush_all_inline(out_tw, fault_store)
+        top = wf._above[self.reserved]
+        if kinds[top] is not FREE:
             raise WindowGeometryError(
                 "NS: window %d above the reserved window is %s after a flush"
-                % (top, self.map.kind(top)))
-        restores = self._install_single_frame(in_tw, top)
-        if in_tw.saved_outs is not None:
-            self.wf.outs_of(top)[:] = in_tw.saved_outs
+                % (top, wmap.kind(top)))
+        base = wf._in_base[top]
+        mid = base + 8
+        restores = 0
+        if in_tw.started:
+            frames = in_tw.store.frames
+            if not frames:
+                raise WindowGeometryError(
+                    "started thread %d is windowless with an empty "
+                    "backing store" % in_tw.tid)
+            frame = frames.pop()
+            if fault_store is not None:
+                fault_store("restore", in_tw, frame, self.counters)
+            depth = frame.depth
+            if depth >= 0 and depth != in_tw.depth:
+                raise WindowIntegrityError(
+                    "thread %d restored frame of depth %d at depth %d"
+                    % (in_tw.tid, depth, in_tw.depth),
+                    thread=in_tw.tid, frame_depth=depth,
+                    expected=in_tw.depth)
+            regs[base:mid] = frame.ins
+            regs[mid:mid + 8] = frame.local_regs
+            wf.release_frame(frame)
+            restores = 1
+        else:
+            regs[base:base + 16] = [0] * 16
+            in_tw.depth = 1
+        in_tw.cwp = top
+        in_tw.bottom = top
+        in_tw.resident = 1
+        kinds[top] = FRAME
+        tids[top] = in_tw.tid
+        saved = in_tw.saved_outs
+        if saved is not None:
+            ob = wf._out_base[top]
+            regs[ob:ob + 8] = saved
             in_tw.saved_outs = None
-        self._run_thread(in_tw)
-        self.wf.set_wim({self.reserved})
-        cycles = self.cost.ns_switch_cost(saves, restores)
+        wf.cwp = top
+        self.cpu.current = in_tw
+        in_tw.started = True
+        wim = wf._wim
+        wim[:] = wf._all_valid
+        wim[self.reserved] = 1
+        key = (saves, restores)
+        cache = self._switch_cost_cache
+        cycles = cache.get(key)
+        if cycles is None:
+            cycles = self.cost.ns_switch_cost(saves, restores)
+            cache[key] = cycles
         self._record_switch(out_tw, in_tw, saves, restores, cycles)
+
+    def _flush_all_inline(self, tw: ThreadWindows, fault_store) -> int:
+        """Spill every resident window, outermost (bottom) first.
+
+        The caller has already saved the stack-top outs; NS threads
+        never hold a PRW, so the generic :meth:`Scheme._spill_bottom`
+        PRW bookkeeping does not apply here.
+        """
+        wf = self.wf
+        below_to_above = wf._above
+        kinds = self.map._kind
+        tids = self.map._tid
+        frames = tw.store.frames
+        counters = self.counters
+        bottom = tw.bottom
+        depth = tw.depth - tw.resident + 1
+        flushed = 0
+        while tw.resident > 0:
+            frame = wf.capture(bottom, depth)
+            if fault_store is not None:
+                fault_store("spill", tw, frame, counters)
+            if frames:
+                last_depth = frames[-1].depth
+                if last_depth >= 0 and depth >= 0 \
+                        and depth != last_depth + 1:
+                    raise WindowIntegrityError(
+                        "non-contiguous spill: depth %d pushed over depth %d"
+                        % (depth, last_depth))
+            frames.append(frame)
+            kinds[bottom] = FREE
+            tids[bottom] = None
+            tw.resident -= 1
+            bottom = below_to_above[bottom]
+            depth += 1
+            flushed += 1
+        tw.cwp = None
+        tw.bottom = None
+        return flushed
 
     def _flush_all(self, tw: ThreadWindows) -> int:
         """Flush every active window, outermost (bottom) first, and save
         the stack-top out registers in the thread context."""
         assert tw.cwp is not None
         tw.saved_outs = list(self.wf.outs_of(tw.cwp))
-        flushed = 0
-        while tw.resident > 0:
-            self._spill_bottom(tw)
-            flushed += 1
-        return flushed
+        return self._flush_all_inline(tw, self.cpu._fault_store)

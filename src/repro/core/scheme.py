@@ -22,8 +22,10 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Dict, Optional
 
+from repro.metrics.counters import SwitchRecord
 from repro.windows.backing_store import Frame
 from repro.windows.errors import WindowGeometryError, WindowIntegrityError
+from repro.windows.occupancy import FRAME, FREE
 from repro.windows.thread_windows import ThreadWindows
 
 
@@ -43,19 +45,39 @@ class Scheme(ABC):
         self.counters = cpu.counters
         #: the CPU's trace-event bus (shared with the kernel)
         self.events = cpu.events
+        #: mirror of ``events.active`` (see EventBus.watch_activity)
+        self._tracing = False
+        self.events.watch_activity(self._set_tracing)
         cpu.bind_scheme(self)
         self.threads: Dict[int, ThreadWindows] = {}
+        #: memo of switch-cost calls — the cost model is a frozen
+        #: dataclass, so (args) -> cycles never changes per instance
+        self._switch_cost_cache: Dict[tuple, int] = {}
+
+    def _set_tracing(self, active: bool) -> None:
+        self._tracing = active
 
     # -- trace events -------------------------------------------------------
 
     def _record_switch(self, out_tw: Optional[ThreadWindows],
                        in_tw: ThreadWindows, saves: int, restores: int,
                        cycles: int) -> None:
-        """Count one context switch and publish its trace event."""
+        """Count one context switch and publish its trace event.
+
+        Equivalent to ``counters.record_switch`` with the per-thread
+        dict update batched onto ``in_tw`` (folded at run end)."""
         out_tid = out_tw.tid if out_tw is not None else None
-        self.counters.record_switch(out_tid, in_tw.tid, saves, restores,
-                                    cycles)
-        if self.events.active:
+        counters = self.counters
+        counters.context_switches += 1
+        counters.switch_transfer_hist[(saves, restores)] += 1
+        counters.windows_spilled += saves
+        counters.windows_restored += restores
+        counters.switch_cycles += cycles
+        in_tw.stat_switches += 1
+        if counters.keep_trace:
+            counters.switch_trace.append(
+                SwitchRecord(out_tid, in_tw.tid, saves, restores, cycles))
+        if self._tracing:
             self.events.emit("switch", tid=in_tw.tid, out_tid=out_tid,
                              saves=saves, restores=restores, cycles=cycles)
 
@@ -121,19 +143,42 @@ class Scheme(ABC):
         its private reserved window (if any) is freed too, keeping the
         "first occupant above a boundary is a bottom" invariant alive.
         """
-        frame = self._frame_of_bottom(victim)
-        faults = self.cpu.faults
-        if faults is not None:
-            faults.on_store_access("spill", victim, frame, self.counters)
-        victim.store.push(frame)
-        old_bottom = victim.shrink_bottom(self.wf.n_windows)
-        self.map.set_free(old_bottom)
+        wf = self.wf
+        old_bottom = victim.bottom
+        if victim.resident == 0 or old_bottom is None:
+            raise WindowGeometryError(
+                "thread %d has no bottom window to spill" % victim.tid)
+        depth = victim.depth - victim.resident + 1
+        frame = wf.capture(old_bottom, depth)
+        fault_store = self.cpu._fault_store
+        if fault_store is not None:
+            fault_store("spill", victim, frame, self.counters)
+        frames = victim.store.frames
+        if frames:
+            last_depth = frames[-1].depth
+            if last_depth >= 0 and depth >= 0 and depth != last_depth + 1:
+                raise WindowIntegrityError(
+                    "non-contiguous spill: depth %d pushed over depth %d"
+                    % (depth, last_depth))
+        frames.append(frame)
+        kinds = self.map._kind
+        tids = self.map._tid
+        victim.resident -= 1
+        if victim.resident == 0:
+            victim.cwp = None
+            victim.bottom = None
+        else:
+            victim.bottom = wf._above[old_bottom]
+        kinds[old_bottom] = FREE
+        tids[old_bottom] = None
         if victim.resident == 0 and victim.prw is not None:
             # The thread's last frame is gone, so its PRW goes too; the
             # stack-top outs physically lived in the PRW's in registers
             # and must survive in the thread context until re-dispatch.
-            victim.saved_outs = list(self.wf.ins_of(victim.prw))
-            self.map.set_free(victim.prw)
+            prw_base = wf._in_base[victim.prw]
+            victim.saved_outs = wf._regs[prw_base:prw_base + 8]
+            kinds[victim.prw] = FREE
+            tids[victim.prw] = None
             victim.prw = None
         return old_bottom
 
@@ -144,13 +189,15 @@ class Scheme(ABC):
         legal here; hitting a reserved window means the caller broke the
         packing invariant.
         """
+        wmap = self.map
+        kinds = wmap._kind
         saves = 0
-        while not self.map.is_free(w):
-            if not self.map.is_frame(w):
+        while kinds[w] is not FREE:
+            if kinds[w] is not FRAME:
                 raise WindowGeometryError(
                     "window %d is %s; expected a stack-bottom frame"
-                    % (w, self.map.kind(w)))
-            victim = self.threads[self.map.frame_tid(w)]
+                    % (w, wmap.kind(w)))
+            victim = self.threads[wmap._tid[w]]
             if victim.bottom != w:
                 raise WindowGeometryError(
                     "window %d belongs to thread %d but is not its bottom"
@@ -161,17 +208,27 @@ class Scheme(ABC):
 
     def _restore_top_frame(self, tw: ThreadWindows, w: int) -> None:
         """Load the thread's innermost stored frame into window ``w``."""
-        frame = tw.store.pop()
-        faults = self.cpu.faults
-        if faults is not None:
-            faults.on_store_access("restore", tw, frame, self.counters)
+        frames = tw.store.frames
+        if not frames:
+            raise WindowIntegrityError(
+                "underflow from an empty backing store")
+        frame = frames.pop()
+        fault_store = self.cpu._fault_store
+        if fault_store is not None:
+            fault_store("restore", tw, frame, self.counters)
         expected = tw.depth - tw.resident
         if frame.depth >= 0 and frame.depth != expected:
             raise WindowIntegrityError(
                 "thread %d restored frame of depth %d at depth %d"
                 % (tw.tid, frame.depth, expected),
                 thread=tw.tid, frame_depth=frame.depth, expected=expected)
-        self.wf.load(w, frame)
+        wf = self.wf
+        regs = wf._regs
+        base = wf._in_base[w]
+        mid = base + 8
+        regs[base:mid] = frame.ins
+        regs[mid:mid + 8] = frame.local_regs
+        wf.release_frame(frame)
 
     def _install_single_frame(self, tw: ThreadWindows, w: int) -> int:
         """Give ``tw`` exactly one resident window at ``w``; returns the
@@ -190,7 +247,9 @@ class Scheme(ABC):
         tw.cwp = w
         tw.bottom = w
         tw.resident = 1
-        self.map.set_frame(w, tw.tid)
+        wmap = self.map
+        wmap._kind[w] = FRAME
+        wmap._tid[w] = tw.tid
         return restores
 
     def _run_thread(self, tw: ThreadWindows) -> None:
@@ -202,6 +261,4 @@ class Scheme(ABC):
 
     def _wim_only_thread(self, tw: ThreadWindows) -> None:
         """WIM: only the thread's resident windows are valid (§3)."""
-        n = self.wf.n_windows
-        valid = set(tw.resident_windows(n))
-        self.wf.set_wim(set(range(n)) - valid)
+        self.wf.set_wim_except(tw.resident_windows(self.wf.n_windows))

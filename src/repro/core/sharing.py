@@ -21,7 +21,9 @@ from typing import Optional
 
 from repro.core.allocation import AllocationPolicy, SimpleAllocation
 from repro.core.scheme import Scheme
-from repro.windows.errors import WindowGeometryError
+from repro.metrics.counters import TrapRecord
+from repro.windows.errors import WindowGeometryError, WindowIntegrityError
+from repro.windows.occupancy import FRAME, FREE, RESERVED
 from repro.windows.thread_windows import ThreadWindows
 
 
@@ -29,6 +31,10 @@ class SharingScheme(Scheme):
     """Common trap handling for the SNP and SP schemes."""
 
     shares_windows = True
+    #: True when the boundary is a per-thread PRW (SP); False when it is
+    #: the single global reserved window (SNP).  Lets the shared hot
+    #: paths read the boundary directly instead of a virtual call.
+    _prw_boundary = False
 
     #: how many free windows are granted as growth headroom when the
     #: boundary is placed (typical per-quantum call-depth excursion);
@@ -41,8 +47,16 @@ class SharingScheme(Scheme):
         super().__init__(cpu)
         self.allocation = (allocation if allocation is not None
                            else SimpleAllocation())
+        #: the default policy just delegates to ``simple_top``; skip
+        #: the double indirection on the hot windowless-dispatch path
+        self._simple_alloc = type(self.allocation) is SimpleAllocation
         self._dispatch_seq = 0
         self.last_dispatched = {}
+        #: trap costs cached off the (frozen) cost model at construction
+        #: instead of being recomputed on every trap
+        self._overflow_spill_cost = self.cost.overflow_cost(True)
+        self._overflow_free_cost = self.cost.overflow_cost(False)
+        self._underflow_cost = self.cost.underflow_inplace_cost()
 
     # -- hooks the concrete schemes provide ---------------------------------
 
@@ -63,25 +77,40 @@ class SharingScheme(Scheme):
 
     def handle_overflow(self, tw: ThreadWindows) -> None:
         wf = self.wf
-        boundary = wf.above(wf.cwp)
-        expected = self.boundary_of(tw)
+        above = wf._above
+        boundary = above[wf.cwp]
+        if self._prw_boundary:
+            expected = tw.prw
+            if expected is None:
+                raise WindowGeometryError(
+                    "thread %d has no PRW while running" % tw.tid)
+        else:
+            expected = self.reserved
         if boundary != expected:
             raise WindowGeometryError(
                 "%s overflow at window %d but the boundary is %d"
                 % (self.kind, boundary, expected))
-        candidate = wf.above(boundary)
-        if candidate == wf.cwp:
+        if above[boundary] == wf.cwp:
             raise WindowGeometryError(
                 "window file too small: overflow wrapped onto the CWP")
         # The old boundary becomes the thread's new stack-top window;
         # the boundary is re-placed above it, granting any free run on
         # the way (recomputing the WIM costs the same either way).
-        self.map.set_free(boundary)
+        wmap = self.map
+        wmap._kind[boundary] = FREE
+        wmap._tid[boundary] = None
         spilled = self._position_boundary(tw, top=boundary)
-        cycles = self.cost.overflow_cost(spilled > 0)
-        self.counters.record_trap("overflow", tw.tid, cycles,
-                                  spilled=spilled > 0)
-        if self.events.active:
+        cycles = (self._overflow_spill_cost if spilled
+                  else self._overflow_free_cost)
+        counters = self.counters
+        counters.overflow_traps += 1
+        if spilled:
+            counters.windows_spilled += 1
+        counters.trap_cycles += cycles
+        if counters.keep_trace:
+            counters.trap_trace.append(
+                TrapRecord("overflow", tw.tid, spilled > 0, False, cycles))
+        if self._tracing:
             self.events.emit("overflow", tid=tw.tid, spilled=spilled,
                              cycles=cycles)
 
@@ -99,31 +128,52 @@ class SharingScheme(Scheme):
         wf = self.wf
         wmap = self.map
         n = wf.n_windows
-        relocatable = self._relocatable_boundary(tw)
-        limit = n - tw.resident - (0 if wmap.is_frame(top) else 1)
-        limit = min(limit, self.grant_headroom + 1)
+        above = wf._above
+        kinds = wmap._kind
+        tids = wmap._tid
+        prw_boundary = self._prw_boundary
+        relocatable = tw.prw if prw_boundary else self.reserved
+        limit = n - tw.resident - (0 if kinds[top] is FRAME else 1)
+        headroom = self.grant_headroom + 1
+        if limit > headroom:
+            limit = headroom
         run = []
-        w = wf.above(top)
-        while len(run) < limit and (wmap.is_free(w) or w == relocatable):
+        w = above[top]
+        while len(run) < limit and (kinds[w] is FREE or w == relocatable):
             run.append(w)
-            w = wf.above(w)
+            w = above[w]
         saves = 0
         if not run:
-            saves = self._make_free(wf.above(top))
+            saves = self._make_free(above[top])
             if saves > 1:
                 raise WindowGeometryError(
                     "boundary placement spilled %d windows" % saves)
-            run = [wf.above(top)]
+            run = [above[top]]
         boundary = run[-1]
-        granted = run[:-1]
         if (relocatable is not None and relocatable != boundary
-                and wmap.is_reserved(relocatable)):
-            wmap.set_free(relocatable)
-        self._set_boundary(tw, boundary)
-        valid = set(tw.resident_windows(n))
-        valid.add(top)
-        valid.update(granted)
-        wf.set_wim(set(range(n)) - valid)
+                and kinds[relocatable] is RESERVED):
+            kinds[relocatable] = FREE
+            tids[relocatable] = None
+        kinds[boundary] = RESERVED
+        if prw_boundary:
+            tids[boundary] = tw.tid
+            tw.prw = boundary
+        else:
+            tids[boundary] = None
+            self.reserved = boundary
+        # The resident run is cyclically contiguous from the top, so it
+        # slices straight out of the file's doubled ring table.
+        if tw.resident:
+            valid = wf._ring2[tw.cwp:tw.cwp + tw.resident]
+        else:
+            valid = []
+        valid.append(top)
+        run.pop()  # the boundary itself stays invalid; the rest granted
+        valid.extend(run)
+        bitmap = wf._wim
+        bitmap[:] = wf._all_invalid
+        for v in valid:
+            bitmap[v] = 0
         return saves
 
     def _relocatable_boundary(self, tw: ThreadWindows):
@@ -143,16 +193,37 @@ class SharingScheme(Scheme):
             raise WindowGeometryError(
                 "thread %d underflowed with an empty backing store" % tw.tid)
         # Return values and frame linkage move to the caller's outs.
-        wf.copy_ins_to_outs(w)
+        regs = wf._regs
+        src = wf._in_base[w]
+        dst = wf._out_base[w]
+        regs[dst:dst + 8] = regs[src:src + 8]
         # The caller's frame comes back *into the callee's window*.
-        self._restore_top_frame(tw, w)
+        frame = tw.store.frames.pop()
+        fault_store = self.cpu._fault_store
+        if fault_store is not None:
+            fault_store("restore", tw, frame, self.counters)
+        expected = tw.depth - tw.resident
+        if frame.depth >= 0 and frame.depth != expected:
+            raise WindowIntegrityError(
+                "thread %d restored frame of depth %d at depth %d"
+                % (tw.tid, frame.depth, expected),
+                thread=tw.tid, frame_depth=frame.depth, expected=expected)
+        mid = src + 8
+        regs[src:mid] = frame.ins
+        regs[mid:mid + 8] = frame.local_regs
+        wf.release_frame(frame)
         tw.depth -= 1
         # CWP, bottom, resident, WIM and occupancy all stay put: the
         # thread virtually moved one window down without physical motion.
-        cycles = self.cost.underflow_inplace_cost()
-        self.counters.record_trap("underflow", tw.tid, cycles,
-                                  restored=True)
-        if self.events.active:
+        cycles = self._underflow_cost
+        counters = self.counters
+        counters.underflow_traps += 1
+        counters.windows_restored += 1
+        counters.trap_cycles += cycles
+        if counters.keep_trace:
+            counters.trap_trace.append(
+                TrapRecord("underflow", tw.tid, False, True, cycles))
+        if self._tracing:
             self.events.emit("underflow", tid=tw.tid, restored=1,
                              cycles=cycles, inplace=True)
 

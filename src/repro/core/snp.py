@@ -53,15 +53,20 @@ class SNPScheme(SharingScheme):
     def context_switch(self, out_tw: Optional[ThreadWindows],
                        in_tw: ThreadWindows,
                        flush_out: bool = False) -> None:
+        wf = self.wf
+        regs = wf._regs
         saves = 0
-        flushed = self._flush_out_windows(out_tw, flush_out)
-        if out_tw is not None and out_tw.has_windows:
+        flushed = (self._flush_out_windows(out_tw, flush_out)
+                   if flush_out else 0)
+        if out_tw is not None and out_tw.resident > 0:
             # The stack-top outs always travel through memory (§4.1).
-            out_tw.saved_outs = list(self.wf.outs_of(out_tw.cwp))
+            ob = wf._out_base[out_tw.cwp]
+            out_tw.saved_outs = regs[ob:ob + 8]
         if in_tw.has_windows:
             restores = 0
         else:
-            top = self.allocation.choose_top(self, out_tw, in_tw, need=2)
+            top = (self.reserved if self._simple_alloc else
+                   self.allocation.choose_top(self, out_tw, in_tw, need=2))
             if top != self.reserved:
                 saves += self._make_free(top)
             restores = self._install_single_frame(in_tw, top)
@@ -69,13 +74,25 @@ class SNPScheme(SharingScheme):
         # thread's top, granting any free run on the way (the WIM must
         # be recomputed for the new thread regardless, §3).
         saves += self._position_boundary(in_tw, in_tw.cwp)
-        if in_tw.saved_outs is not None:
-            self.wf.outs_of(in_tw.cwp)[:] = in_tw.saved_outs
+        saved = in_tw.saved_outs
+        if saved is not None:
+            ob = wf._out_base[in_tw.cwp]
+            regs[ob:ob + 8] = saved
             in_tw.saved_outs = None
-        self._run_thread(in_tw)
-        self._note_dispatch(in_tw)
-        cycles = (self.cost.snp_switch_cost(saves, restores)
-                  + self.cost.flush_cost(flushed))
+        # _run_thread + _note_dispatch, inlined
+        wf.cwp = in_tw.cwp
+        self.cpu.current = in_tw
+        in_tw.started = True
+        seq = self._dispatch_seq + 1
+        self._dispatch_seq = seq
+        self.last_dispatched[in_tw.tid] = seq
+        key = (saves, restores, flushed)
+        cache = self._switch_cost_cache
+        cycles = cache.get(key)
+        if cycles is None:
+            cycles = (self.cost.snp_switch_cost(saves, restores)
+                      + self.cost.flush_cost(flushed))
+            cache[key] = cycles
         self._record_switch(out_tw, in_tw, saves + flushed, restores,
                             cycles)
 

@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.core.sharing import SharingScheme
 from repro.windows.errors import WindowGeometryError
+from repro.windows.occupancy import FREE, RESERVED
 from repro.windows.thread_windows import ThreadWindows
 
 
@@ -30,6 +31,7 @@ class SPScheme(SharingScheme):
     """Sharing with a private reserved window per thread."""
 
     kind = "SP"
+    _prw_boundary = True
 
     def __init__(self, cpu, allocation=None):
         super().__init__(cpu, allocation)
@@ -70,15 +72,33 @@ class SPScheme(SharingScheme):
     def context_switch(self, out_tw: Optional[ThreadWindows],
                        in_tw: ThreadWindows,
                        flush_out: bool = False) -> None:
+        wf = self.wf
+        wmap = self.map
+        kinds = wmap._kind
+        tids = wmap._tid
         saves = 0
         restores = 0
         allocated = False
-        flushed = self._flush_out_windows(out_tw, flush_out)
+        flushed = (self._flush_out_windows(out_tw, flush_out)
+                   if flush_out else 0)
         if out_tw is not None and out_tw.has_windows:
-            self._snug_prw(out_tw)
+            # _snug_prw, inlined: move the PRW down to immediately
+            # above the stack-top (§4.1) — bookkeeping only.
+            snug = wf._above[out_tw.cwp]
+            prw = out_tw.prw
+            if prw != snug:
+                if kinds[snug] is not FREE:
+                    raise WindowGeometryError(
+                        "window %d above thread %d's top is %s, expected "
+                        "vacated" % (snug, out_tw.tid, wmap.kind(snug)))
+                kinds[prw] = FREE
+                tids[prw] = None
+                kinds[snug] = RESERVED
+                tids[snug] = out_tw.tid
+                out_tw.prw = snug
             self._anchor = out_tw.prw
         if in_tw.has_windows:
-            if in_tw.prw is None or in_tw.prw != self.wf.above(in_tw.cwp):
+            if in_tw.prw is None or in_tw.prw != wf._above[in_tw.cwp]:
                 raise WindowGeometryError(
                     "thread %d resident without a snug PRW (%s)"
                     % (in_tw.tid, in_tw.prw))
@@ -87,21 +107,39 @@ class SPScheme(SharingScheme):
             # WIM is recomputed (costless growth headroom).
         else:
             allocated = True
-            top = self.allocation.choose_top(self, out_tw, in_tw, need=2)
+            if self._simple_alloc:
+                anchor = self._anchor
+                if out_tw is not None and out_tw.prw is not None:
+                    anchor = out_tw.prw
+                top = wf._above[anchor]
+            else:
+                top = self.allocation.choose_top(self, out_tw, in_tw, need=2)
             saves += self._make_free(top)
             restores = self._install_single_frame(in_tw, top)
         # Place the PRW above the top, granting any free run; a second
         # spill can happen here (the worst case of Table 2's SP rows).
         saves += self._position_boundary(in_tw, in_tw.cwp)
-        if in_tw.saved_outs is not None:
+        saved = in_tw.saved_outs
+        if saved is not None:
             # Only set when the thread lost its PRW to a spill while
             # suspended; the outs move back into the window above top.
-            self.wf.outs_of(in_tw.cwp)[:] = in_tw.saved_outs
+            ob = wf._out_base[in_tw.cwp]
+            wf._regs[ob:ob + 8] = saved
             in_tw.saved_outs = None
-        self._run_thread(in_tw)
-        self._note_dispatch(in_tw)
-        cycles = (self.cost.sp_switch_cost(saves, restores, allocated)
-                  + self.cost.flush_cost(flushed))
+        # _run_thread + _note_dispatch, inlined
+        wf.cwp = in_tw.cwp
+        self.cpu.current = in_tw
+        in_tw.started = True
+        seq = self._dispatch_seq + 1
+        self._dispatch_seq = seq
+        self.last_dispatched[in_tw.tid] = seq
+        key = (saves, restores, allocated, flushed)
+        cache = self._switch_cost_cache
+        cycles = cache.get(key)
+        if cycles is None:
+            cycles = (self.cost.sp_switch_cost(saves, restores, allocated)
+                      + self.cost.flush_cost(flushed))
+            cache[key] = cycles
         self._record_switch(out_tw, in_tw, saves + flushed, restores,
                             cycles)
 

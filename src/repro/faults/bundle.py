@@ -83,8 +83,8 @@ def build_crash_bundle(error: BaseException, kernel,
         "wim": sorted(wf.wim),
         "occupancy": [{"window": w, "kind": wmap.kind(w),
                        "tid": wmap.tid(w)} for w in range(n)],
-        "windows": [{"ins": _jsonable(wf.ins_of(w)),
-                     "locals": _jsonable(wf.locals_of(w))}
+        "windows": [{"ins": _jsonable(list(wf.ins_of(w))),
+                     "locals": _jsonable(list(wf.locals_of(w)))}
                     for w in range(n)],
     }
 

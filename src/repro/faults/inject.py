@@ -61,6 +61,28 @@ class FaultInjector:
     def bind(self, events) -> None:
         self.events = events
 
+    def attach(self, kernel) -> None:
+        """Wire this injector into ``kernel``, hooking **only** the
+        sites the plan actually targets.
+
+        The CPU's per-site hook attributes stay ``None`` for every
+        other site, so the unfaulted hot path (and the unfaulted sites
+        of a faulted run) keep their single ``is None`` check and never
+        pay a callable indirection or a site-counter lookup.
+        """
+        self.bind(kernel.events)
+        # always visible for trap-action consumption and crash bundles
+        kernel.cpu.faults = self
+        pending = self._pending
+        if "save" in pending:
+            kernel.cpu._fault_save = self.on_save
+        if "restore" in pending:
+            kernel.cpu._fault_restore = self.on_restore
+        if "store" in pending:
+            kernel.cpu._fault_store = self.on_store_access
+        if "enqueue" in pending:
+            kernel.ready.faults = self
+
     # -- bookkeeping --------------------------------------------------------
 
     def _hits(self, site: str) -> List[FaultSpec]:

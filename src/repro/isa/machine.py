@@ -8,12 +8,19 @@ scheme.  ``save``/``restore`` execute through
 in-place underflow restore and the emulated restore-as-add of §4.3 —
 happen exactly as in the multithreading runtime, but now with live
 register data produced by real instructions.
+
+Opcode dispatch is a table of bound handlers precomputed at machine
+construction (the threaded-code technique of interpreter lore), not an
+if/elif ladder: the fetch loop does one dict lookup and one call per
+instruction.  Each handler returns True only when it ended the current
+thread's quantum (halt, or a yield that switched).
 """
 
 from __future__ import annotations
 
+import operator
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core import make_scheme
 from repro.isa.assembler import Program
@@ -25,6 +32,26 @@ from repro.windows.thread_windows import ThreadWindows
 
 WORD = 4
 
+_ALU_FUNCS: Dict[str, Callable[[int, int], int]] = {
+    "add": operator.add,
+    "sub": operator.sub,
+    "and": operator.and_,
+    "or": operator.or_,
+    "xor": operator.xor,
+    "sll": operator.lshift,
+    "srl": operator.rshift,
+    "smul": operator.mul,
+}
+
+_BRANCH_TESTS: Dict[str, Callable[[int], bool]] = {
+    "be": lambda cc: cc == 0,
+    "bne": lambda cc: cc != 0,
+    "bg": lambda cc: cc > 0,
+    "bge": lambda cc: cc >= 0,
+    "bl": lambda cc: cc < 0,
+    "ble": lambda cc: cc <= 0,
+}
+
 
 class MachineFault(Exception):
     """Illegal execution (bad opcode state, budget exhaustion, ...)."""
@@ -32,6 +59,9 @@ class MachineFault(Exception):
 
 class HWThread:
     """One hardware thread context."""
+
+    __slots__ = ("tid", "name", "pc", "args", "cc", "windows",
+                 "shadow_globals", "done", "exit_value", "instructions")
 
     def __init__(self, tid: int, name: str, entry: int, args):
         self.tid = tid
@@ -66,6 +96,32 @@ class Machine:
         self.threads: List[HWThread] = []
         self.ready: deque = deque()
         self.current: Optional[HWThread] = None
+        self._dispatch = self._build_dispatch()
+
+    def _build_dispatch(self) -> Dict[str, Callable]:
+        """Precompute the opcode -> bound-handler table."""
+        dispatch: Dict[str, Callable] = {}
+        for op in ALU_OPS:
+            dispatch[op] = self._make_alu(_ALU_FUNCS[op])
+        for op, test in _BRANCH_TESTS.items():
+            dispatch[op] = self._make_branch(test)
+        dispatch.update({
+            "mov": self._op_mov,
+            "cmp": self._op_cmp,
+            "ba": self._op_ba,
+            "ld": self._op_ld,
+            "st": self._op_st,
+            "save": self._op_save,
+            "restore": self._op_restore,
+            "call": self._op_call,
+            "retl": self._op_retl,
+            "ret": self._op_ret,
+            "retadd": self._op_retadd,
+            "nop": self._op_nop,
+            "halt": self._op_halt,
+            "yield": self._op_yield,
+        })
+        return dispatch
 
     # -- setup -------------------------------------------------------------
 
@@ -97,6 +153,7 @@ class Machine:
             steps += self._run_thread(max_steps - steps)
             if steps >= max_steps:
                 raise MachineFault("step budget of %d exhausted" % max_steps)
+        self.counters.fold_thread_stats(t.windows for t in self.threads)
         return {t.name: t.exit_value for t in self.threads}
 
     def _switch_to(self, thread: HWThread) -> None:
@@ -116,98 +173,138 @@ class Machine:
         """Run the current thread until it yields or halts."""
         thread = self.current
         assert thread is not None
-        wf = self.cpu.wf
         instrs = self.program.instructions
+        n_instrs = len(instrs)
+        dispatch = self._dispatch
         executed = 0
         while executed < budget:
-            if not 0 <= thread.pc < len(instrs):
+            pc = thread.pc
+            if not 0 <= pc < n_instrs:
                 raise MachineFault(
-                    "%s: pc %d out of range" % (thread.name, thread.pc))
-            instr = instrs[thread.pc]
-            op = instr.op
+                    "%s: pc %d out of range" % (thread.name, pc))
+            instr = instrs[pc]
             executed += 1
             thread.instructions += 1
-            if op in ALU_OPS:
-                a = self._value(instr.operands[0])
-                b = self._value(instr.operands[1])
-                self._write(instr.operands[2], _alu(op, a, b))
-                self.cpu.tick(1)
-                thread.pc += 1
-            elif op == "mov":
-                self._write(instr.operands[1],
-                            self._value(instr.operands[0]))
-                self.cpu.tick(1)
-                thread.pc += 1
-            elif op == "cmp":
-                thread.cc = (self._value(instr.operands[0])
-                             - self._value(instr.operands[1]))
-                self.cpu.tick(1)
-                thread.pc += 1
-            elif op == "ba":
-                thread.pc = instr.label
-                self.cpu.tick(1)
-            elif op in ("be", "bne", "bg", "bge", "bl", "ble"):
-                taken = _branch_taken(op, thread.cc)
-                thread.pc = instr.label if taken else thread.pc + 1
-                self.cpu.tick(1)
-            elif op == "ld":
-                mem = instr.operands[0]
-                addr = read_register(wf, mem.bank, mem.index) + mem.offset
-                self._write(instr.operands[1], self.memory.get(addr, 0))
-                self.cpu.tick(2)
-                thread.pc += 1
-            elif op == "st":
-                mem = instr.operands[1]
-                addr = read_register(wf, mem.bank, mem.index) + mem.offset
-                self.memory[addr] = self._value(instr.operands[0])
-                self.cpu.tick(3)
-                thread.pc += 1
-            elif op == "save":
-                value = None
-                if instr.operands:
-                    value = (self._value(instr.operands[0])
-                             + self._value(instr.operands[1]))
-                self.cpu.save(thread.windows)
-                if instr.operands:
-                    self._write(instr.operands[2], value)
-                thread.pc += 1
-            elif op == "restore":
-                self._do_restore(thread, instr.operands)
-                thread.pc += 1
-            elif op == "call":
-                wf.write_out(7, thread.pc)
-                self.cpu.tick(1)
-                thread.pc = instr.label
-            elif op == "retl":
-                thread.pc = wf.read_out(7) + 1
-                self.cpu.tick(1)
-            elif op == "ret":
-                target = wf.read_in(7) + 1
-                self._do_restore(thread, ())
-                thread.pc = target
-            elif op == "retadd":
-                target = wf.read_in(7) + 1
-                self._do_restore(thread, instr.operands)
-                thread.pc = target
-            elif op == "nop":
-                self.cpu.tick(1)
-                thread.pc += 1
-            elif op == "halt":
-                thread.exit_value = wf.read_out(0)
-                thread.done = True
-                self.scheme.retire(thread.windows)
-                self.current = None
+            handler = dispatch.get(instr.op)
+            if handler is None:  # pragma: no cover - assembler rejects
+                raise MachineFault("unknown op %r" % instr.op)
+            if handler(thread, instr):
                 return executed
-            elif op == "yield":
-                self.cpu.tick(1)
-                thread.pc += 1
-                if self.ready:
-                    self.ready.append(thread)
-                    self._switch_to(self.ready.popleft())
-                    return executed
-            else:  # pragma: no cover - assembler rejects unknown ops
-                raise MachineFault("unknown op %r" % op)
         return executed
+
+    # -- opcode handlers (one entry each in the dispatch table) --------------
+
+    def _make_alu(self, fn: Callable[[int, int], int]) -> Callable:
+        def run_alu(thread: HWThread, instr) -> bool:
+            ops = instr.operands
+            self._write(ops[2], fn(self._value(ops[0]), self._value(ops[1])))
+            self.counters.compute_cycles += 1
+            thread.pc += 1
+            return False
+        return run_alu
+
+    def _make_branch(self, test: Callable[[int], bool]) -> Callable:
+        def run_branch(thread: HWThread, instr) -> bool:
+            thread.pc = instr.label if test(thread.cc) else thread.pc + 1
+            self.counters.compute_cycles += 1
+            return False
+        return run_branch
+
+    def _op_mov(self, thread: HWThread, instr) -> bool:
+        self._write(instr.operands[1], self._value(instr.operands[0]))
+        self.counters.compute_cycles += 1
+        thread.pc += 1
+        return False
+
+    def _op_cmp(self, thread: HWThread, instr) -> bool:
+        thread.cc = (self._value(instr.operands[0])
+                     - self._value(instr.operands[1]))
+        self.counters.compute_cycles += 1
+        thread.pc += 1
+        return False
+
+    def _op_ba(self, thread: HWThread, instr) -> bool:
+        thread.pc = instr.label
+        self.counters.compute_cycles += 1
+        return False
+
+    def _op_ld(self, thread: HWThread, instr) -> bool:
+        mem = instr.operands[0]
+        wf = self.cpu.wf
+        addr = read_register(wf, mem.bank, mem.index) + mem.offset
+        self._write(instr.operands[1], self.memory.get(addr, 0))
+        self.counters.compute_cycles += 2
+        thread.pc += 1
+        return False
+
+    def _op_st(self, thread: HWThread, instr) -> bool:
+        mem = instr.operands[1]
+        wf = self.cpu.wf
+        addr = read_register(wf, mem.bank, mem.index) + mem.offset
+        self.memory[addr] = self._value(instr.operands[0])
+        self.counters.compute_cycles += 3
+        thread.pc += 1
+        return False
+
+    def _op_save(self, thread: HWThread, instr) -> bool:
+        ops = instr.operands
+        value = None
+        if ops:
+            value = self._value(ops[0]) + self._value(ops[1])
+        self.cpu.save(thread.windows)
+        if ops:
+            self._write(ops[2], value)
+        thread.pc += 1
+        return False
+
+    def _op_restore(self, thread: HWThread, instr) -> bool:
+        self._do_restore(thread, instr.operands)
+        thread.pc += 1
+        return False
+
+    def _op_call(self, thread: HWThread, instr) -> bool:
+        self.cpu.wf.write_out(7, thread.pc)
+        self.counters.compute_cycles += 1
+        thread.pc = instr.label
+        return False
+
+    def _op_retl(self, thread: HWThread, instr) -> bool:
+        thread.pc = self.cpu.wf.read_out(7) + 1
+        self.counters.compute_cycles += 1
+        return False
+
+    def _op_ret(self, thread: HWThread, instr) -> bool:
+        target = self.cpu.wf.read_in(7) + 1
+        self._do_restore(thread, ())
+        thread.pc = target
+        return False
+
+    def _op_retadd(self, thread: HWThread, instr) -> bool:
+        target = self.cpu.wf.read_in(7) + 1
+        self._do_restore(thread, instr.operands)
+        thread.pc = target
+        return False
+
+    def _op_nop(self, thread: HWThread, instr) -> bool:
+        self.counters.compute_cycles += 1
+        thread.pc += 1
+        return False
+
+    def _op_halt(self, thread: HWThread, instr) -> bool:
+        thread.exit_value = self.cpu.wf.read_out(0)
+        thread.done = True
+        self.scheme.retire(thread.windows)
+        self.current = None
+        return True
+
+    def _op_yield(self, thread: HWThread, instr) -> bool:
+        self.counters.compute_cycles += 1
+        thread.pc += 1
+        if self.ready:
+            self.ready.append(thread)
+            self._switch_to(self.ready.popleft())
+            return True
+        return False
 
     def _do_restore(self, thread: HWThread, operands) -> None:
         """A ``restore``, optionally with the add function of §4.3.
@@ -236,34 +333,13 @@ class Machine:
 
 
 def _alu(op: str, a: int, b: int) -> int:
-    if op == "add":
-        return a + b
-    if op == "sub":
-        return a - b
-    if op == "and":
-        return a & b
-    if op == "or":
-        return a | b
-    if op == "xor":
-        return a ^ b
-    if op == "sll":
-        return a << b
-    if op == "srl":
-        return a >> b
-    if op == "smul":
-        return a * b
-    raise MachineFault("bad ALU op %r" % op)
+    """Kept for direct use in tests; the interpreter's dispatch table
+    binds the same functions from ``_ALU_FUNCS``."""
+    fn = _ALU_FUNCS.get(op)
+    if fn is None:
+        raise MachineFault("bad ALU op %r" % op)
+    return fn(a, b)
 
 
 def _branch_taken(op: str, cc: int) -> bool:
-    if op == "be":
-        return cc == 0
-    if op == "bne":
-        return cc != 0
-    if op == "bg":
-        return cc > 0
-    if op == "bge":
-        return cc >= 0
-    if op == "bl":
-        return cc < 0
-    return cc <= 0  # ble
+    return _BRANCH_TESTS[op](cc)

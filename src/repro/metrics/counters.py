@@ -132,6 +132,34 @@ class Counters:
             self.switch_trace.append(
                 SwitchRecord(out_tid, in_tid, saves, restores, cycles))
 
+    def fold_thread_stats(self, thread_windows) -> None:
+        """Fold the batched per-thread tallies each
+        :class:`~repro.windows.thread_windows.ThreadWindows` accumulated
+        (plain int fields, bumped inline on the hot path) into the
+        per-thread dicts, and zero them.
+
+        The CPU and schemes keep the scalar totals (``saves``,
+        ``restores``, cycle counters) up to date immediately — the event
+        bus clock reads ``total_cycles`` mid-run — but only touch the
+        dicts here, at run end and at crash capture.  Idempotent across
+        repeated folds because the fields are reset.
+        """
+        for tw in thread_windows:
+            if tw.stat_saves:
+                self.per_thread_saves[tw.tid] = (
+                    self.per_thread_saves.get(tw.tid, 0) + tw.stat_saves)
+                tw.stat_saves = 0
+            if tw.stat_restores:
+                self.per_thread_restores[tw.tid] = (
+                    self.per_thread_restores.get(tw.tid, 0)
+                    + tw.stat_restores)
+                tw.stat_restores = 0
+            if tw.stat_switches:
+                self.per_thread_switches[tw.tid] = (
+                    self.per_thread_switches.get(tw.tid, 0)
+                    + tw.stat_switches)
+                tw.stat_switches = 0
+
     def record_compute(self, cycles: int) -> None:
         self.compute_cycles += cycles
 

@@ -79,14 +79,33 @@ class EventBus:
 
     ``active`` is maintained as a plain attribute so the hot path in the
     kernel and CPU is a single attribute check when nobody listens.
-    ``clock`` supplies the simulated cycle stamp (the kernel binds it to
-    ``counters.total_cycles``).
+    Publishers that emit on every simulated step go one cheaper: they
+    register an *activity watcher* (:meth:`watch_activity`) and mirror
+    ``active`` into a ``_tracing`` boolean of their own, turning the
+    per-emit-site guard into one load on ``self`` with no cross-object
+    hop.  ``clock`` supplies the simulated cycle stamp (the kernel binds
+    it to ``counters.total_cycles``).
     """
 
     def __init__(self, clock: Optional[Callable[[], int]] = None):
         self._subscribers: List[tuple] = []
+        self._watchers: List[Callable[[bool], None]] = []
         self.active = False
         self.clock = clock if clock is not None else (lambda: 0)
+
+    def watch_activity(self, watcher: Callable[[bool], None]):
+        """Register ``watcher(active)``; called immediately with the
+        current state and again on every subscribe/unsubscribe edge."""
+        self._watchers.append(watcher)
+        watcher(self.active)
+        return watcher
+
+    def _set_active(self, active: bool) -> None:
+        if active == self.active:
+            return
+        self.active = active
+        for watcher in self._watchers:
+            watcher(active)
 
     def subscribe(self, consumer) -> Any:
         """Attach ``consumer`` (a callable, or an object with an
@@ -95,13 +114,13 @@ class EventBus:
         if fn is None:
             fn = consumer
         self._subscribers.append((consumer, fn))
-        self.active = True
+        self._set_active(True)
         return consumer
 
     def unsubscribe(self, consumer) -> None:
         self._subscribers = [(c, f) for c, f in self._subscribers
                              if c is not consumer]
-        self.active = bool(self._subscribers)
+        self._set_active(bool(self._subscribers))
 
     def emit(self, kind: str, tid: Optional[int] = None,
              **attrs) -> TraceEvent:

@@ -101,7 +101,10 @@ class Kernel:
         #: scheme, the ready queue and every stream); disabled until a
         #: consumer subscribes
         self.events = self.cpu.events
-        self.ready.events = self.events
+        self.ready.bind_events(self.events)
+        #: mirror of ``events.active`` (see EventBus.watch_activity)
+        self._tracing = False
+        self.events.watch_activity(self._set_tracing)
         self._tracker = None
         self._timeline = None
         self._running = False
@@ -113,9 +116,7 @@ class Kernel:
         #: with the CPU, the scheme's store paths and the ready queue
         self.faults = faults
         if faults is not None:
-            faults.bind(self.events)
-            self.cpu.faults = faults
-            self.ready.faults = faults
+            faults.attach(self)
         #: run check_invariants after every dispatch, call and return
         self.audit = audit
         self._watchdog = None
@@ -133,6 +134,9 @@ class Kernel:
 
             self._flight = RingRecorder()
             self.events.subscribe(self._flight)
+
+    def _set_tracing(self, active: bool) -> None:
+        self._tracing = active
 
     # -- observability ------------------------------------------------------
 
@@ -192,7 +196,7 @@ class Kernel:
         thread = SimThread(len(self.threads), name, factory, args)
         self.threads.append(thread)
         self.scheme.register(thread.windows)
-        if self.events.active:
+        if self._tracing:
             parent = self.current.tid if self.current is not None else None
             self.events.emit("spawn", tid=thread.tid, name=thread.name,
                              parent=parent)
@@ -234,8 +238,9 @@ class Kernel:
             self._run_quantum(max_steps)
             if max_steps is not None and self._steps >= max_steps:
                 raise RuntimeFault("step budget of %d exceeded" % max_steps)
-        if self.events.active:
+        if self._tracing:
             self.events.emit("run_end")
+        self.counters.fold_thread_stats(t.windows for t in self.threads)
         return RunResult(self.counters, list(self.threads), self._steps,
                          list(self.ready.slackness_samples))
 
@@ -284,6 +289,7 @@ class Kernel:
 
     def _capture_crash(self, exc: ReproError) -> None:
         """Enrich an escaping error and (optionally) write its bundle."""
+        self.counters.fold_thread_stats(t.windows for t in self.threads)
         running = self.current
         exc.with_context(step=self._steps,
                          cycle=self.counters.total_cycles)
@@ -312,7 +318,7 @@ class Kernel:
             thread.start_root()
             if self.verify_registers:
                 self.cpu.write_local(0, ("sig", thread.tid, 1))
-        if self.events.active:
+        if self._tracing:
             self.events.emit("dispatch", tid=thread.tid,
                              depth=thread.windows.depth)
         if self.audit:
@@ -336,8 +342,10 @@ class Kernel:
         assert thread is not None
         tw = thread.windows
         cpu = self.cpu
+        counters = cpu.counters
         verify = self.verify_registers
         watchdog = self._watchdog
+        gen_stack = thread.gen_stack
         while True:
             self._steps += 1
             if max_steps is not None and self._steps >= max_steps:
@@ -358,7 +366,7 @@ class Kernel:
                     self._block(thread)
                     return
                 self._progress += 1
-            gen = thread.gen_stack[-1]
+            gen = gen_stack[-1]
             try:
                 cmd = gen.send(thread.resume_value)
             except StopIteration as stop:
@@ -368,7 +376,7 @@ class Kernel:
             thread.resume_value = None
             t = type(cmd)
             if t is Tick:
-                cpu.tick(cmd.cycles)
+                counters.compute_cycles += cmd.cycles
                 self._progress += 1
             elif t is Call:
                 self._do_call(thread, cmd)
@@ -382,7 +390,7 @@ class Kernel:
                 self._do_close(cmd.stream)
             elif t is YieldCPU:
                 if self.ready:
-                    if self.events.active:
+                    if self._tracing:
                         self.events.emit("yield", tid=thread.tid)
                     self.ready.push_yielded(thread)
                     self.last_suspended = thread
@@ -446,7 +454,7 @@ class Kernel:
             thread.state = DONE
             self.scheme.retire(tw)
             self.current = None
-            events_on = self.events.active
+            events_on = self._tracing
             if events_on:
                 self.events.emit("retire", tid=thread.tid,
                                  name=thread.name)
@@ -466,9 +474,10 @@ class Kernel:
                     "thread %s frame signature corrupted: %r at depth %d"
                     % (thread.name, sig, tw.depth),
                     thread=thread.name, depth=tw.depth)
-        cpu.write_in(0, value)
+        wf = cpu.wf
+        wf._regs[wf._in_base[wf.cwp]] = value
         cpu.restore(tw)
-        got = cpu.read_out(0)
+        got = wf._regs[wf._out_base[wf.cwp]]
         if self.verify_registers and got is not value and got != value:
             raise WindowIntegrityError(
                 "return value of %s corrupted across restore: %r != %r"
@@ -485,23 +494,7 @@ class Kernel:
         """Try to complete the in-flight op; False means block."""
         pending = thread.pending
         kind = pending[0]
-        if kind == "join":
-            target: SimThread = pending[1]
-            if target.state != DONE:
-                return False
-            thread.pending = None
-            thread.resume_value = target.result
-            return True
         stream: Stream = pending[1]
-        if kind == "read":
-            if stream.is_empty and not stream.closed:
-                return False
-            data = stream.pull(pending[2])
-            if data and stream.write_waiters:
-                self._wake_writers(stream)
-            thread.pending = None
-            thread.resume_value = data
-            return True
         if kind == "write":
             data, offset = pending[2], pending[3]
             pushed = stream.push(data[offset:])
@@ -515,6 +508,15 @@ class Kernel:
                 return True
             thread.pending = ("write", stream, data, offset)
             return False
+        if kind == "read":
+            if stream.is_empty and not stream.closed:
+                return False
+            data = stream.pull(pending[2])
+            if data and stream.write_waiters:
+                self._wake_writers(stream)
+            thread.pending = None
+            thread.resume_value = data
+            return True
         if kind == "readline":
             if stream.has_line() or stream.at_eof:
                 line = stream.pull_line()
@@ -530,31 +532,40 @@ class Kernel:
                     "readline on %r: line longer than the stream capacity"
                     % stream.name)
             return False
+        if kind == "join":
+            target: SimThread = pending[1]
+            if target.state != DONE:
+                return False
+            thread.pending = None
+            thread.resume_value = target.result
+            return True
         raise RuntimeFault("unknown pending op %r" % kind)
 
     def _block(self, thread: SimThread) -> None:
         pending = thread.pending
-        if pending[0] == "join":
+        kind = pending[0]
+        if kind == "join":
             target: SimThread = pending[1]
             target.join_waiters.append(thread)
             thread.blocked_on = "join %s" % target.name
-            op = "join"
-            on = target.name
-        else:
+        elif kind == "write":
             stream: Stream = pending[1]
-            op = "write" if pending[0] == "write" else "read"
-            on = stream.name or "stream"
-            if pending[0] == "write":
-                stream.write_waiters.append(thread)
-                thread.blocked_on = "write %s" % on
-            else:
-                stream.read_waiters.append(thread)
-                thread.blocked_on = "read %s" % on
+            stream.write_waiters.append(thread)
+            thread.blocked_on = stream.write_label
+        else:
+            stream = pending[1]
+            stream.read_waiters.append(thread)
+            thread.blocked_on = stream.read_label
         thread.state = BLOCKED
         thread.blocks += 1
         self.last_suspended = thread
         self.current = None
-        if self.events.active:
+        if self._tracing:
+            if kind == "join":
+                op, on = "join", pending[1].name
+            else:
+                op = "write" if kind == "write" else "read"
+                on = pending[1].name or "stream"
             self.events.emit("block", tid=thread.tid, on=on, op=op)
 
     def _do_close(self, stream: Stream) -> None:
@@ -565,7 +576,7 @@ class Kernel:
             self._wake_writers(stream)
 
     def _wake_readers(self, stream: Stream) -> None:
-        events_on = self.events.active
+        events_on = self._tracing
         for waiter in stream.read_waiters:
             waiter.blocked_on = None
             if events_on:
@@ -575,7 +586,7 @@ class Kernel:
         del stream.read_waiters[:]
 
     def _wake_writers(self, stream: Stream) -> None:
-        events_on = self.events.active
+        events_on = self._tracing
         for waiter in stream.write_waiters:
             waiter.blocked_on = None
             if events_on:

@@ -18,16 +18,34 @@ from repro.runtime.thread import READY, SimThread
 class ReadyQueue:
     """Deque of ready threads with policy-driven insertion."""
 
+    __slots__ = ("policy", "_queue", "slackness_samples",
+                 "sample_slackness", "events", "faults", "_tracing",
+                 "_fifo")
+
     def __init__(self, policy: Optional[QueuePolicy] = None):
         self.policy = policy if policy is not None else FIFOPolicy()
+        #: plain FIFO never front-enqueues, so the per-wake policy call
+        #: can be skipped entirely on the default path
+        self._fifo = type(self.policy) is FIFOPolicy
         self._queue: deque = deque()
         #: parallel-slackness samples (§5): queue length at each pop
         self.slackness_samples = []
         self.sample_slackness = False
         #: trace-event bus (wired by the kernel; None when standalone)
         self.events = None
-        #: optional fault injector; its enqueue hook may perturb order
+        #: mirror of ``events.active`` (see EventBus.watch_activity)
+        self._tracing = False
+        #: optional fault injector with enqueue specs pending; attached
+        #: by FaultInjector.attach only when the plan targets this site
         self.faults = None
+
+    def bind_events(self, events) -> None:
+        """Wire the trace bus (and keep ``_tracing`` mirrored)."""
+        self.events = events
+        events.watch_activity(self._set_tracing)
+
+    def _set_tracing(self, active: bool) -> None:
+        self._tracing = active
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -39,37 +57,44 @@ class ReadyQueue:
         """A freshly spawned thread always enters at the back."""
         thread.state = READY
         self._queue.append(thread)
-        self._note_enqueue(thread, "new", "back")
+        if self._tracing or self.faults is not None:
+            self._note_enqueue(thread, "new", "back")
 
     def push_woken(self, thread: SimThread) -> None:
         """A thread awoken by another thread; placement is the policy's
         single decision point (§4.6)."""
         thread.state = READY
-        if self.policy.enqueue_position(thread.windows) == FRONT:
-            self._queue.appendleft(thread)
-            self._note_enqueue(thread, "woken", "front")
-        else:
+        if self._fifo or \
+                self.policy.enqueue_position(thread.windows) != FRONT:
             self._queue.append(thread)
-            self._note_enqueue(thread, "woken", "back")
+            position = "back"
+        else:
+            self._queue.appendleft(thread)
+            position = "front"
+        if self._tracing or self.faults is not None:
+            self._note_enqueue(thread, "woken", position)
 
     def push_yielded(self, thread: SimThread) -> None:
         """A thread that voluntarily yielded the CPU."""
         thread.state = READY
-        if self.policy.yield_position(thread.windows) == FRONT:
-            self._queue.appendleft(thread)
-            self._note_enqueue(thread, "yielded", "front")
-        else:
+        if self._fifo or \
+                self.policy.yield_position(thread.windows) != FRONT:
             self._queue.append(thread)
-            self._note_enqueue(thread, "yielded", "back")
+            position = "back"
+        else:
+            self._queue.appendleft(thread)
+            position = "front"
+        if self._tracing or self.faults is not None:
+            self._note_enqueue(thread, "yielded", position)
 
     def _note_enqueue(self, thread: SimThread, reason: str,
                       position: str) -> None:
-        events = self.events
-        if events is not None and events.active:
-            events.emit("enqueue", tid=thread.tid, reason=reason,
-                        position=position, depth=len(self._queue))
-        if self.faults is not None:
-            self.faults.on_enqueue(self)
+        if self._tracing:
+            self.events.emit("enqueue", tid=thread.tid, reason=reason,
+                             position=position, depth=len(self._queue))
+        faults = self.faults
+        if faults is not None:
+            faults.on_enqueue(self)
 
     def pop(self) -> SimThread:
         if self.sample_slackness:

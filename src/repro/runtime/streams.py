@@ -20,11 +20,19 @@ class StreamClosedError(Exception):
 class Stream:
     """A bounded cyclic FIFO byte buffer with blocking semantics."""
 
+    __slots__ = ("capacity", "name", "_data", "closed", "read_waiters",
+                 "write_waiters", "bytes_written", "bytes_read", "events",
+                 "read_label", "write_label")
+
     def __init__(self, capacity: int, name: str = ""):
         if capacity < 1:
             raise ValueError("stream capacity must be >= 1")
         self.capacity = capacity
         self.name = name
+        #: precomputed ``blocked_on`` diagnostics labels, so blocking a
+        #: thread never formats a string on the hot path
+        self.read_label = "read %s" % (name or "stream")
+        self.write_label = "write %s" % (name or "stream")
         self._data = bytearray()
         self.closed = False
         #: threads blocked on this stream (managed by the kernel)

@@ -16,6 +16,11 @@ DONE = "done"
 class SimThread:
     """One thread of the simulated application."""
 
+    __slots__ = ("tid", "name", "factory", "args", "windows", "state",
+                 "gen_stack", "resume_value", "pending", "blocked_on",
+                 "result", "flush_on_switch", "join_waiters",
+                 "calls", "returns", "blocks")
+
     def __init__(self, tid: int, name: str, factory, args=()):
         self.tid = tid
         self.name = name or ("thread-%d" % tid)

@@ -14,7 +14,7 @@ from typing import List
 from repro.windows.errors import WindowIntegrityError
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """Snapshot of one window: eight in and eight local registers.
 

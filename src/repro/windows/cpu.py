@@ -6,6 +6,16 @@ This class plays the role of the paper's "register window emulator"
 window-related operations are interpreted, with a cycle counter charged
 from the cost model.  The number of physical windows is a constructor
 parameter, which is how the evaluation sweeps 4–32 windows.
+
+``save``/``restore`` are the hottest functions of the whole simulator
+(one per procedure call/return of every simulated thread), so they are
+written against the flat register file directly: geometry comes from
+the precomputed ``_above``/``_below`` tables, the trap check reads the
+WIM bitmap, counter updates are inline scalar bumps plus a batched
+per-thread tally (folded at run end), trace emits hide behind the
+cached ``_tracing`` boolean, and fault hooks are per-site attributes
+that stay ``None`` unless a fault plan actually targets the site
+(:meth:`repro.faults.inject.FaultInjector.attach`).
 """
 
 from __future__ import annotations
@@ -15,7 +25,7 @@ from typing import Optional
 from repro.metrics.counters import Counters
 from repro.metrics.events import EventBus
 from repro.windows.errors import WindowGeometryError
-from repro.windows.occupancy import WindowMap
+from repro.windows.occupancy import FRAME, FREE, WindowMap
 from repro.windows.thread_windows import ThreadWindows
 from repro.windows.window_file import WindowFile
 
@@ -35,12 +45,27 @@ class WindowCPU:
         #: clock; disabled (no subscribers) by default
         counters = self.counters
         self.events = EventBus(clock=lambda: counters.total_cycles)
+        #: mirror of ``events.active`` (see EventBus.watch_activity)
+        self._tracing = False
+        self.events.watch_activity(self._set_tracing)
         self.scheme = None
         #: the thread currently executing on this CPU
         self.current: Optional[ThreadWindows] = None
-        #: optional :class:`repro.faults.inject.FaultInjector`; its
-        #: hooks fire inside save/restore and the scheme's store paths
+        #: optional :class:`repro.faults.inject.FaultInjector`; kept for
+        #: trap-action consumption and crash bundles.  The per-site
+        #: hooks below are bound by ``FaultInjector.attach`` only when
+        #: the plan has specs for that site, so an unfaulted run (and a
+        #: run faulted elsewhere) pays one ``is None`` check per site.
         self.faults = None
+        self._fault_save = None
+        self._fault_restore = None
+        self._fault_store = None
+        #: per-instruction costs, cached off the (frozen) cost model
+        self._save_instr_cost = self.cost.save_instr
+        self._restore_instr_cost = self.cost.restore_instr
+
+    def _set_tracing(self, active: bool) -> None:
+        self._tracing = active
 
     @property
     def n_windows(self) -> int:
@@ -60,23 +85,26 @@ class WindowCPU:
         bound scheme, whose postcondition is that the target window is
         valid and free.
         """
-        self._check_running(tw)
+        if self.current is not tw or tw.cwp != self.wf.cwp:
+            self._check_running(tw)
         wf = self.wf
-        faults = self.faults
-        if faults is not None:
-            faults.on_save(self, tw)
-        self.counters.record_save(tw.tid)
-        self.counters.record_call_cycles(self.cost.save_instr)
-        target = wf.above(wf.cwp)
-        if wf.is_invalid(target):
+        if self._fault_save is not None:
+            self._fault_save(self, tw)
+        counters = self.counters
+        counters.saves += 1
+        counters.call_cycles += self._save_instr_cost
+        tw.stat_saves += 1
+        target = wf._above[wf.cwp]
+        if wf._wim[target]:
+            faults = self.faults
             action = (faults.take_trap_action(tw)
                       if faults is not None else None)
             if action != "drop":
                 self.scheme.handle_overflow(tw)
                 if action == "dup":
                     self.scheme.handle_overflow(tw)
-                target = wf.above(wf.cwp)
-                if wf.is_invalid(target):
+                target = wf._above[wf.cwp]
+                if wf._wim[target]:
                     raise WindowGeometryError(
                         "overflow handler left target window %d invalid"
                         % target, window=target, thread=tw.tid)
@@ -86,8 +114,10 @@ class WindowCPU:
         tw.cwp = target
         tw.resident += 1
         tw.depth += 1
-        self.map.set_frame(target, tw.tid)
-        if self.events.active:
+        wmap = self.map
+        wmap._kind[target] = FRAME
+        wmap._tid[target] = tw.tid
+        if self._tracing:
             self.events.emit("save", tid=tw.tid, window=target,
                              depth=tw.depth)
 
@@ -98,30 +128,35 @@ class WindowCPU:
         the trap handler performed an in-place restore (the CWP did not
         physically move) — callers never need this, but tests do.
         """
-        self._check_running(tw)
+        if self.current is not tw or tw.cwp != self.wf.cwp:
+            self._check_running(tw)
         if tw.depth <= 1:
             raise WindowGeometryError(
                 "thread %d executed restore at depth %d" % (tw.tid, tw.depth))
-        if self.faults is not None:
-            self.faults.on_restore(self, tw)
+        if self._fault_restore is not None:
+            self._fault_restore(self, tw)
         wf = self.wf
-        self.counters.record_restore(tw.tid)
-        self.counters.record_call_cycles(self.cost.restore_instr)
-        target = wf.below(wf.cwp)
-        if wf.is_invalid(target):
+        counters = self.counters
+        counters.restores += 1
+        counters.call_cycles += self._restore_instr_cost
+        tw.stat_restores += 1
+        target = wf._below[wf.cwp]
+        if wf._wim[target]:
             self.scheme.handle_underflow(tw)
-            if self.events.active:
+            if self._tracing:
                 self.events.emit("restore", tid=tw.tid, window=wf.cwp,
                                  depth=tw.depth, inplace=True)
             return True
         # Plain restore: the callee's window is vacated.
         freed = wf.cwp
-        self.map.set_free(freed)
+        wmap = self.map
+        wmap._kind[freed] = FREE
+        wmap._tid[freed] = None
         wf.cwp = target
         tw.cwp = target
         tw.resident -= 1
         tw.depth -= 1
-        if self.events.active:
+        if self._tracing:
             self.events.emit("restore", tid=tw.tid, window=target,
                              depth=tw.depth, freed=freed, inplace=False)
         return False
@@ -148,7 +183,7 @@ class WindowCPU:
 
     def tick(self, cycles: int) -> None:
         """Charge ordinary computation cycles."""
-        self.counters.record_compute(cycles)
+        self.counters.compute_cycles += cycles
 
     def _check_running(self, tw: ThreadWindows) -> None:
         if self.scheme is None:

@@ -18,6 +18,10 @@ from repro.windows.errors import WindowGeometryError
 class ThreadWindows:
     """Window-related state of one thread, as the monitor tracks it."""
 
+    __slots__ = ("tid", "cwp", "bottom", "resident", "depth", "prw",
+                 "store", "saved_outs", "started",
+                 "stat_saves", "stat_restores", "stat_switches")
+
     def __init__(self, tid: int):
         self.tid = tid
         #: physical window of the top-of-stack frame (None: no windows)
@@ -36,6 +40,12 @@ class ThreadWindows:
         self.saved_outs: Optional[List[int]] = None
         #: has this thread ever been dispatched?
         self.started = False
+        #: batched per-thread tallies, bumped inline on the hot path and
+        #: folded into :meth:`repro.metrics.counters.Counters.fold_thread_stats`
+        #: at run end / crash capture
+        self.stat_saves = 0
+        self.stat_restores = 0
+        self.stat_switches = 0
 
     @property
     def has_windows(self) -> bool:

@@ -12,6 +12,22 @@ The Window Invalid Mask (WIM) is a set of window indices; executing
 ``restore`` into one raises an underflow trap.  Trap *handling* lives in
 the management schemes (:mod:`repro.core`); this module only detects
 the conditions.
+
+Storage layout (the simulator fast path): all in/local banks live in
+one flat Python list of ``n_windows * 16`` slots — window ``w``'s ins
+at ``[16w, 16w+8)``, its locals at ``[16w+8, 16w+16)`` — so window
+spills, restores and the underflow shuffle are single slice copies and
+register access is one flat index instead of two list hops.  Cyclic
+geometry (``above``/``below``/``distance_above``) is served from tables
+precomputed at construction; the WIM is a bytearray bitmap with a
+set-valued ``wim`` property kept for introspection (crash bundles,
+invariant checks, ``repr``).  Registers hold arbitrary Python objects,
+not just ints — the kernel stores signature tuples in them — which is
+why the flat storage is a list rather than an ``array``.
+
+``ins_of``/``locals_of``/``outs_of`` return cached live
+:class:`RegisterBank` views over the flat storage, preserving the
+aliasing contract ``outs_of(w) is ins_of(above(w))``.
 """
 
 from __future__ import annotations
@@ -27,110 +43,277 @@ REGS_PER_BANK = 8
 #: window plus at least two frames so overflow never targets the CWP).
 MIN_WINDOWS = 3
 
+_BANK_RANGE = range(REGS_PER_BANK)
+
+
+class RegisterBank:
+    """Live eight-register view over one bank of the flat register file.
+
+    Mutations through the view hit the underlying storage, so the
+    physical in/out overlap stays visible: the object returned by
+    ``outs_of(w)`` *is* the object returned by ``ins_of(above(w))``.
+    """
+
+    __slots__ = ("_regs", "_base")
+
+    def __init__(self, regs: list, base: int):
+        self._regs = regs
+        self._base = base
+
+    def __len__(self) -> int:
+        return REGS_PER_BANK
+
+    def __getitem__(self, i):
+        if type(i) is int:
+            if i < 0:
+                i += REGS_PER_BANK
+            if not 0 <= i < REGS_PER_BANK:
+                raise IndexError("register index %d out of range" % i)
+            return self._regs[self._base + i]
+        if i.start is None and i.stop is None and i.step is None:
+            off = self._base
+            return self._regs[off:off + REGS_PER_BANK]
+        base = self._regs
+        off = self._base
+        return [base[off + j] for j in _BANK_RANGE[i]]
+
+    def __setitem__(self, i, value) -> None:
+        if type(i) is int:
+            if i < 0:
+                i += REGS_PER_BANK
+            if not 0 <= i < REGS_PER_BANK:
+                raise IndexError("register index %d out of range" % i)
+            self._regs[self._base + i] = value
+            return
+        if i.start is None and i.stop is None and i.step is None:
+            values = value if type(value) is list else list(value)
+            if len(values) != REGS_PER_BANK:
+                raise ValueError(
+                    "cannot assign %d values to %d registers"
+                    % (len(values), REGS_PER_BANK))
+            off = self._base
+            self._regs[off:off + REGS_PER_BANK] = values
+            return
+        idx = _BANK_RANGE[i]
+        values = list(value)
+        if len(values) != len(idx):
+            raise ValueError(
+                "cannot assign %d values to %d registers"
+                % (len(values), len(idx)))
+        regs = self._regs
+        off = self._base
+        for j, v in zip(idx, values):
+            regs[off + j] = v
+
+    def __iter__(self):
+        base = self._base
+        return iter(self._regs[base:base + REGS_PER_BANK])
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, RegisterBank):
+            return (self._regs is other._regs
+                    and self._base == other._base) or \
+                list(self) == list(other)
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        base = self._base
+        return "RegisterBank(%r)" % (self._regs[base:base + REGS_PER_BANK],)
+
 
 class WindowFile:
     """Cyclic register-window file with in/out/local overlap."""
+
+    __slots__ = ("n_windows", "global_regs", "cwp", "_regs", "_wim",
+                 "_above", "_below", "_dist", "_in_base", "_out_base",
+                 "_in_views", "_local_views", "_frame_pool",
+                 "_all_invalid", "_all_valid", "_ring2")
 
     def __init__(self, n_windows: int):
         if n_windows < MIN_WINDOWS:
             raise WindowGeometryError(
                 "need at least %d windows, got %d" % (MIN_WINDOWS, n_windows))
         self.n_windows = n_windows
-        self._ins: List[List[int]] = [
-            [0] * REGS_PER_BANK for _ in range(n_windows)]
-        self._locals: List[List[int]] = [
-            [0] * REGS_PER_BANK for _ in range(n_windows)]
+        n = n_windows
+        self._regs: List[int] = [0] * (n * 2 * REGS_PER_BANK)
         self.global_regs: List[int] = [0] * REGS_PER_BANK
         self.cwp = 0
-        self.wim: Set[int] = set()
+        # -- precomputed cyclic geometry --
+        self._above = [(w - 1) % n for w in range(n)]
+        self._below = [(w + 1) % n for w in range(n)]
+        self._dist = [[(s - e) % n for e in range(n)] for s in range(n)]
+        self._in_base = [w * 2 * REGS_PER_BANK for w in range(n)]
+        self._out_base = [self._in_base[self._above[w]] for w in range(n)]
+        self._ring2 = list(range(n)) * 2
+        self._in_views = [RegisterBank(self._regs, self._in_base[w])
+                          for w in range(n)]
+        self._local_views = [
+            RegisterBank(self._regs, self._in_base[w] + REGS_PER_BANK)
+            for w in range(n)]
+        # -- WIM bitmap (index w nonzero == window w invalid) --
+        self._wim = bytearray(n)
+        self._all_invalid = bytes([1]) * n
+        self._all_valid = bytes(n)
+        self._frame_pool: List[Frame] = []
 
     # -- cyclic geometry ------------------------------------------------
 
     def above(self, w: int) -> int:
         """The window above ``w`` (the callee / stack-growth direction)."""
-        return (w - 1) % self.n_windows
+        return self._above[w]
 
     def below(self, w: int) -> int:
         """The window below ``w`` (the caller direction)."""
-        return (w + 1) % self.n_windows
+        return self._below[w]
 
     def distance_above(self, start: int, end: int) -> int:
         """How many steps *above* ``start`` window ``end`` lies (0..n-1)."""
-        return (start - end) % self.n_windows
+        return self._dist[start][end]
 
     def windows_from(self, top: int, count: int) -> List[int]:
         """``count`` windows starting at ``top`` going downward (below)."""
+        if 0 <= top < self.n_windows and count <= self.n_windows:
+            return self._ring2[top:top + count]
         return [(top + i) % self.n_windows for i in range(count)]
 
     # -- WIM -------------------------------------------------------------
+
+    @property
+    def wim(self) -> Set[int]:
+        """The invalid windows as a set (introspection; not the hot path)."""
+        return {w for w, bit in enumerate(self._wim) if bit}
+
+    @wim.setter
+    def wim(self, invalid: Iterable[int]) -> None:
+        self.set_wim(invalid)
 
     def set_wim(self, invalid: Iterable[int]) -> None:
         wim = set(invalid)
         for w in wim:
             self._check_index(w)
-        self.wim = wim
+        bitmap = self._wim
+        for w in range(self.n_windows):
+            bitmap[w] = 0
+        for w in wim:
+            bitmap[w] = 1
+
+    def set_wim_except(self, valid: Iterable[int]) -> None:
+        """Mark every window invalid except ``valid`` (scheme fast path:
+        the WIM rebuild after boundary placement, without set algebra)."""
+        bitmap = self._wim
+        bitmap[:] = self._all_invalid
+        for w in valid:
+            bitmap[w] = 0
+
+    def set_wim_only(self, w: int) -> None:
+        """Mark exactly window ``w`` invalid (the NS scheme's single
+        reserved window), everything else valid."""
+        self._check_index(w)
+        bitmap = self._wim
+        bitmap[:] = self._all_valid
+        bitmap[w] = 1
 
     def mark_invalid(self, w: int) -> None:
         self._check_index(w)
-        self.wim.add(w)
+        self._wim[w] = 1
 
     def mark_valid(self, w: int) -> None:
-        self.wim.discard(w)
+        if 0 <= w < self.n_windows:
+            self._wim[w] = 0
 
     def is_invalid(self, w: int) -> bool:
-        return w in self.wim
+        return self._wim[w] != 0
 
     # -- register access (current window) --------------------------------
 
-    def read_in(self, i: int) -> int:
-        return self._ins[self.cwp][i]
+    def read_in(self, i: int):
+        if not 0 <= i < REGS_PER_BANK:
+            raise IndexError("in register %d out of range" % i)
+        return self._regs[self._in_base[self.cwp] + i]
 
-    def write_in(self, i: int, value: int) -> None:
-        self._ins[self.cwp][i] = value
+    def write_in(self, i: int, value) -> None:
+        if not 0 <= i < REGS_PER_BANK:
+            raise IndexError("in register %d out of range" % i)
+        self._regs[self._in_base[self.cwp] + i] = value
 
-    def read_local(self, i: int) -> int:
-        return self._locals[self.cwp][i]
+    def read_local(self, i: int):
+        if not 0 <= i < REGS_PER_BANK:
+            raise IndexError("local register %d out of range" % i)
+        return self._regs[self._in_base[self.cwp] + REGS_PER_BANK + i]
 
-    def write_local(self, i: int, value: int) -> None:
-        self._locals[self.cwp][i] = value
+    def write_local(self, i: int, value) -> None:
+        if not 0 <= i < REGS_PER_BANK:
+            raise IndexError("local register %d out of range" % i)
+        self._regs[self._in_base[self.cwp] + REGS_PER_BANK + i] = value
 
-    def read_out(self, i: int) -> int:
-        return self._ins[self.above(self.cwp)][i]
+    def read_out(self, i: int):
+        if not 0 <= i < REGS_PER_BANK:
+            raise IndexError("out register %d out of range" % i)
+        return self._regs[self._out_base[self.cwp] + i]
 
-    def write_out(self, i: int, value: int) -> None:
-        self._ins[self.above(self.cwp)][i] = value
+    def write_out(self, i: int, value) -> None:
+        if not 0 <= i < REGS_PER_BANK:
+            raise IndexError("out register %d out of range" % i)
+        self._regs[self._out_base[self.cwp] + i] = value
 
-    def read_global(self, i: int) -> int:
+    def read_global(self, i: int):
         return self.global_regs[i]
 
-    def write_global(self, i: int, value: int) -> None:
+    def write_global(self, i: int, value) -> None:
         if i == 0:
             return  # %g0 is hardwired to zero
         self.global_regs[i] = value
 
     # -- whole-window access (trap handlers, context switches) -----------
 
-    def ins_of(self, w: int) -> List[int]:
+    def ins_of(self, w: int) -> RegisterBank:
         self._check_index(w)
-        return self._ins[w]
+        return self._in_views[w]
 
-    def locals_of(self, w: int) -> List[int]:
+    def locals_of(self, w: int) -> RegisterBank:
         self._check_index(w)
-        return self._locals[w]
+        return self._local_views[w]
 
-    def outs_of(self, w: int) -> List[int]:
+    def outs_of(self, w: int) -> RegisterBank:
         """Physical storage of window ``w``'s out registers."""
-        return self._ins[self.above(w)]
+        return self._in_views[self._above[w]]
 
     def capture(self, w: int, depth: int = -1) -> Frame:
-        """Copy window ``w``'s in+local registers into a memory frame."""
-        return Frame(list(self._ins[w]), list(self._locals[w]), depth)
+        """Copy window ``w``'s in+local registers into a memory frame.
+
+        Frames come from a free pool when one is available (see
+        :meth:`release_frame`); the register data is always copied."""
+        self._check_index(w)
+        regs = self._regs
+        base = self._in_base[w]
+        mid = base + REGS_PER_BANK
+        pool = self._frame_pool
+        if pool:
+            frame = pool.pop()
+            frame.ins[:] = regs[base:mid]
+            frame.local_regs[:] = regs[mid:mid + REGS_PER_BANK]
+            frame.depth = depth
+            return frame
+        return Frame(regs[base:mid], regs[mid:mid + REGS_PER_BANK], depth)
+
+    def release_frame(self, frame: Frame) -> None:
+        """Return a dead frame's buffers to the pool for the next
+        :meth:`capture`.  Only call once the frame can no longer be
+        reached (popped from a backing store and loaded back)."""
+        if len(frame.ins) == REGS_PER_BANK and \
+                len(frame.local_regs) == REGS_PER_BANK:
+            self._frame_pool.append(frame)
 
     def load(self, w: int, frame: Frame) -> None:
         """Write a memory frame back into window ``w``'s in+local registers."""
         self._check_index(w)
-        self._ins[w][:] = frame.ins
-        self._locals[w][:] = frame.local_regs
+        regs = self._regs
+        base = self._in_base[w]
+        mid = base + REGS_PER_BANK
+        regs[base:mid] = frame.ins
+        regs[mid:mid + REGS_PER_BANK] = frame.local_regs
 
     def copy_ins_to_outs(self, w: int) -> None:
         """The in-place underflow-restore register shuffle (paper §3.2).
@@ -140,12 +323,16 @@ class WindowFile:
         registers so they survive the caller's frame being restored on
         top of the callee's window.
         """
-        self._ins[self.above(w)][:] = self._ins[w]
+        regs = self._regs
+        src = self._in_base[w]
+        dst = self._out_base[w]
+        regs[dst:dst + REGS_PER_BANK] = regs[src:src + REGS_PER_BANK]
 
     def clear_window(self, w: int, fill: int = 0) -> None:
         """Scrub a window (used when handing a window to a fresh frame)."""
-        self._ins[w][:] = [fill] * REGS_PER_BANK
-        self._locals[w][:] = [fill] * REGS_PER_BANK
+        base = self._in_base[w]
+        self._regs[base:base + 2 * REGS_PER_BANK] = [fill] * (
+            2 * REGS_PER_BANK)
 
     def _check_index(self, w: int) -> None:
         if not 0 <= w < self.n_windows:

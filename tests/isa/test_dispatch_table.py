@@ -1,0 +1,54 @@
+"""The ISA machine's precomputed opcode dispatch table: one bound
+handler per opcode, built once at construction, covering exactly the
+assembler's opcode set."""
+
+from repro.isa import Machine, assemble
+from repro.isa.instructions import ALL_OPS
+
+
+def _machine(source: str = "start:\n  halt\n") -> Machine:
+    return Machine(assemble(source), n_windows=8, scheme="NS")
+
+
+def test_dispatch_covers_every_opcode():
+    machine = _machine()
+    missing = [op for op in ALL_OPS if op not in machine._dispatch]
+    assert not missing, "no handler for %s" % missing
+
+
+def test_dispatch_handlers_are_bound_to_their_machine():
+    machine = _machine()
+    for op, handler in machine._dispatch.items():
+        bound_to = getattr(handler, "__self__", None)
+        if bound_to is not None:
+            assert bound_to is machine, op
+        else:
+            # ALU/branch handlers are closures minted per machine;
+            # they must capture *this* machine, not share state
+            assert handler.__closure__ is not None, op
+
+
+def test_dispatch_table_is_stable_across_runs():
+    machine = _machine()
+    table = machine._dispatch
+    machine.add_thread("start")
+    machine.run()
+    assert machine._dispatch is table
+
+
+def test_alu_and_branch_semantics_via_table():
+    machine = _machine("""
+start:
+  mov  6, %l0
+  mov  7, %l1
+  smul %l0, %l1, %l2
+  cmp  %l2, 42
+  be   done
+  mov  0, %l2
+done:
+  mov  %l2, %o0
+  halt
+""")
+    thread = machine.add_thread("start")
+    machine.run()
+    assert thread.exit_value == 42

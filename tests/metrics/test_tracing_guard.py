@@ -1,0 +1,63 @@
+"""The zero-cost tracing guard: every hot publisher mirrors
+``EventBus.active`` into a local ``_tracing`` boolean via
+``watch_activity``, so an uninstrumented run never builds event
+kwargs.  These tests pin the mirroring contract the emit call sites
+rely on."""
+
+from repro.apps.spellcheck import SpellConfig, run_spellchecker
+from repro.metrics.events import EventBus, RingRecorder
+from repro.runtime.kernel import Kernel
+
+
+def _publishers(kernel: Kernel):
+    return (kernel, kernel.ready, kernel.cpu, kernel.scheme)
+
+
+def test_watch_activity_calls_back_immediately():
+    bus = EventBus()
+    seen = []
+    bus.watch_activity(seen.append)
+    assert seen == [False]
+    token = bus.subscribe(lambda event: None)
+    assert seen == [False, True]
+    bus.unsubscribe(token)
+    assert seen == [False, True, False]
+
+
+def test_publishers_mirror_bus_activity():
+    kernel = Kernel(n_windows=8, scheme="SP")
+    for pub in _publishers(kernel):
+        assert pub._tracing is False
+    recorder = RingRecorder()
+    token = kernel.events.subscribe(recorder.on_event)
+    for pub in _publishers(kernel):
+        assert pub._tracing is True
+    kernel.events.unsubscribe(token)
+    for pub in _publishers(kernel):
+        assert pub._tracing is False
+
+
+def test_second_subscriber_keeps_guard_up():
+    kernel = Kernel(n_windows=8, scheme="NS")
+    first = kernel.events.subscribe(lambda event: None)
+    second = kernel.events.subscribe(lambda event: None)
+    kernel.events.unsubscribe(first)
+    assert kernel.cpu._tracing is True  # one consumer still listening
+    kernel.events.unsubscribe(second)
+    assert kernel.cpu._tracing is False
+
+
+def test_guarded_run_produces_identical_counters():
+    """A subscribed (traced) run and a bare run agree on every counter
+    — the guard changes cost, never behavior."""
+    config = SpellConfig.named("high", "coarse", scale=0.05)
+    bare, bare_out = run_spellchecker(8, "SNP", config)
+    traced_events = []
+    traced, traced_out = run_spellchecker(
+        8, "SNP", config,
+        instrument=lambda kernel: kernel.events.subscribe(
+            traced_events.append))
+    assert traced.steps == bare.steps
+    assert traced.counters.snapshot() == bare.counters.snapshot()
+    assert traced_out == bare_out
+    assert traced_events  # the bus really was live
