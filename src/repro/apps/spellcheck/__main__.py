@@ -108,6 +108,12 @@ def main(argv=None) -> int:
     parser.add_argument("--crash-dir", metavar="DIR", default=None,
                         help="write a replayable crash bundle here on "
                              "any simulator error")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect aggregate telemetry (histograms + "
+                             "cycle-domain profiler) and print a summary")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the repro.metrics-snapshot JSON here "
+                             "(implies --metrics)")
     args = parser.parse_args(argv)
 
     if args.file:
@@ -134,6 +140,18 @@ def main(argv=None) -> int:
             kernel.tracker = observers["tracker"]
             observers["timeline"] = OccupancyTimeline()
             kernel.timeline = observers["timeline"]
+
+    telemetry = None
+    if args.metrics or args.metrics_out:
+        from repro.metrics.telemetry import RunTelemetry
+
+        telemetry = RunTelemetry()
+        trace_instrument = instrument
+
+        def instrument(kernel, _inner=trace_instrument):
+            if _inner is not None:
+                _inner(kernel)
+            telemetry.attach(kernel)
 
     injector = None
     if args.faults:
@@ -175,7 +193,15 @@ def main(argv=None) -> int:
         return 1
     if injector is not None:
         print(injector.summary())
+    metrics_snapshot = None
+    if telemetry is not None:
+        telemetry.finalize(result)
+        metrics_snapshot = telemetry.snapshot(
+            {"workload": "spellcheck", "scheme": args.scheme,
+             "n_windows": args.windows, "m": args.m, "n": args.n})
     if args.trace:
+        if telemetry is not None:
+            observers["exporter"].add_telemetry(telemetry)
         observers["exporter"].write(args.trace)
         print("wrote Perfetto trace: %s" % args.trace)
     if args.report:
@@ -187,9 +213,15 @@ def main(argv=None) -> int:
                     "m": args.m, "n": args.n, "workload": "spellcheck"},
             tracker=observers["tracker"],
             timeline=observers["timeline"],
-            recorder=observers["recorder"])
+            recorder=observers["recorder"],
+            metrics=metrics_snapshot)
         write_report(run_report, args.report)
         print("wrote RunReport: %s" % args.report)
+    if args.metrics_out:
+        from repro.metrics.telemetry import write_snapshot
+
+        write_snapshot(metrics_snapshot, args.metrics_out)
+        print("wrote metrics snapshot: %s" % args.metrics_out)
     words = [w for w in report.decode("ascii").split("\n") if w]
     print("%d possibly-misspelled words:" % len(words))
     for word in words:
@@ -204,6 +236,21 @@ def main(argv=None) -> int:
                   c.total_cycles, c.context_switches, c.saves,
                   c.overflow_traps, c.underflow_traps,
                   c.avg_switch_cycles))
+    if args.metrics:
+        print()
+        print("telemetry (%d instruments, %d profile samples):" % (
+            len(telemetry.registry), telemetry.profiler.samples))
+        for h in telemetry.registry.instruments():
+            if h.kind == "histogram" and h.count:
+                print("  %-46s n=%-6d p50=%-6s p99=%-6s max=%s" % (
+                    h.name + str(sorted(h.labels.items())),
+                    h.count, h.percentile(50), h.percentile(99), h.max))
+        ops = telemetry.profiler.op_cycles
+        if ops:
+            total = sum(ops.values()) or 1
+            top = sorted(ops.items(), key=lambda kv: -kv[1])[:6]
+            print("  cycles by op: " + ", ".join(
+                "%s %.0f%%" % (op, 100.0 * n / total) for op, n in top))
     return 0
 
 

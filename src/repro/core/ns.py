@@ -86,6 +86,8 @@ class NSScheme(Scheme):
         if counters.keep_trace:
             counters.trap_trace.append(
                 TrapRecord("overflow", tw.tid, True, False, cycles))
+        if self._tel_trap is not None:
+            self._tel_trap.append(cycles)
         if self._tracing:
             self.events.emit("overflow", tid=tw.tid, spilled=spills,
                              cycles=cycles)
@@ -160,6 +162,8 @@ class NSScheme(Scheme):
         if counters.keep_trace:
             counters.trap_trace.append(
                 TrapRecord("underflow", tw.tid, False, True, cycles))
+        if self._tel_trap is not None:
+            self._tel_trap.append(cycles)
         if self._tracing:
             self.events.emit("underflow", tid=tw.tid, restored=restores,
                              cycles=cycles, inplace=False)

@@ -53,6 +53,13 @@ class Scheme(ABC):
         #: memo of switch-cost calls — the cost model is a frozen
         #: dataclass, so (args) -> cycles never changes per instance
         self._switch_cost_cache: Dict[tuple, int] = {}
+        #: telemetry buffers (see Kernel.attach_telemetry); per-site
+        #: attributes that stay None unless metrics are armed, so the
+        #: uninstrumented paths pay one ``is None`` check per event.
+        #: When armed they are plain lists — one C-speed append per
+        #: event; RunTelemetry bulk-folds them into its histograms
+        self._tel_switch = None
+        self._tel_trap = None
 
     def _set_tracing(self, active: bool) -> None:
         self._tracing = active
@@ -77,6 +84,8 @@ class Scheme(ABC):
         if counters.keep_trace:
             counters.switch_trace.append(
                 SwitchRecord(out_tid, in_tw.tid, saves, restores, cycles))
+        if self._tel_switch is not None:
+            self._tel_switch.append(cycles)
         if self._tracing:
             self.events.emit("switch", tid=in_tw.tid, out_tid=out_tid,
                              saves=saves, restores=restores, cycles=cycles)

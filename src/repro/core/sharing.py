@@ -110,6 +110,8 @@ class SharingScheme(Scheme):
         if counters.keep_trace:
             counters.trap_trace.append(
                 TrapRecord("overflow", tw.tid, spilled > 0, False, cycles))
+        if self._tel_trap is not None:
+            self._tel_trap.append(cycles)
         if self._tracing:
             self.events.emit("overflow", tid=tw.tid, spilled=spilled,
                              cycles=cycles)
@@ -223,6 +225,8 @@ class SharingScheme(Scheme):
         if counters.keep_trace:
             counters.trap_trace.append(
                 TrapRecord("underflow", tw.tid, False, True, cycles))
+        if self._tel_trap is not None:
+            self._tel_trap.append(cycles)
         if self._tracing:
             self.events.emit("underflow", tid=tw.tid, restored=1,
                              cycles=cycles, inplace=True)

@@ -101,6 +101,14 @@ def main(argv=None) -> int:
                         help="quarantine failing points into the "
                              "failure manifest instead of aborting "
                              "the sweep")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect engine telemetry (implied by "
+                             "--metrics-out)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the live repro.metrics-snapshot "
+                             "JSON here (default with --metrics: "
+                             "engine-metrics.json); tail it with "
+                             "python -m repro.metrics.top")
     args = parser.parse_args(argv)
 
     windows = ([int(x) for x in args.windows.split(",")]
@@ -129,13 +137,17 @@ def main(argv=None) -> int:
         spec_defaults["audit"] = True
     if args.watchdog:
         spec_defaults["watchdog"] = args.watchdog
+    metrics_out = args.metrics_out
+    if args.metrics and metrics_out is None:
+        metrics_out = "engine-metrics.json"
     engine = Engine.from_env(jobs=args.jobs, cache=not args.no_cache,
                              cache_dir=args.cache_dir,
                              retries=args.retries,
                              timeout=args.timeout,
                              backoff=args.backoff,
                              keep_going=args.keep_going,
-                             spec_defaults=spec_defaults)
+                             spec_defaults=spec_defaults,
+                             metrics_out=metrics_out)
 
     targets = ([args.target] if args.target != "all"
                else ["table1", "table2"] + sorted(FIGURES))

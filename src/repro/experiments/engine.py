@@ -298,18 +298,32 @@ def _normalize_error(err) -> Optional[Dict[str, object]]:
     return err
 
 
+def _unpack(result):
+    """Normalise a runner result to ``(index, report, err, wall_ms)``.
+
+    The built-in runner reports its wall time as a fourth element;
+    custom runners (tests, alternative executors) may still return the
+    historical 3-tuple, which counts as zero wall time.
+    """
+    if len(result) == 3:
+        index, report, err = result
+        return index, report, err, 0.0
+    return result
+
+
 def _execute_payload(task: Tuple[int, Dict[str, object]]):
     """Worker-side entry point: run one point, return its report.
 
     Module-level so it pickles under every multiprocessing start
-    method.  Returns ``(index, report, None)`` or ``(index, None,
-    error_dict)`` — exceptions never cross the pipe raw.  A
-    ``"_timeout"`` key in the payload (seconds) arms a SIGALRM budget
-    around the point where the platform supports it.
+    method.  Returns ``(index, report, None, wall_ms)`` or ``(index,
+    None, error_dict, wall_ms)`` — exceptions never cross the pipe
+    raw.  A ``"_timeout"`` key in the payload (seconds) arms a SIGALRM
+    budget around the point where the platform supports it.
     """
     index, payload = task
     timeout = payload.get("_timeout")
     armed = False
+    start = time.perf_counter()
     try:
         if timeout and hasattr(signal, "SIGALRM"):
             signal.signal(signal.SIGALRM, _alarm_handler)
@@ -322,9 +336,11 @@ def _execute_payload(task: Tuple[int, Dict[str, object]]):
             working_set=spec.working_set, seed=spec.seed,
             faults=spec.faults, fault_seed=spec.fault_seed,
             audit=spec.audit, watchdog=spec.watchdog)
-        return index, report, None
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        return index, report, None, wall_ms
     except Exception as exc:
-        return index, None, _failure_payload(exc)
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        return index, None, _failure_payload(exc), wall_ms
     finally:
         if armed:
             signal.setitimer(signal.ITIMER_REAL, 0)
@@ -354,7 +370,13 @@ class PointFailure:
 
 @dataclass
 class EngineStats:
-    """What one :meth:`Engine.run_reports` call did."""
+    """What one :meth:`Engine.run_reports` call did.
+
+    The telemetry fields (wall times, hit latencies, utilization) are
+    *wall-clock* measurements and therefore excluded from every
+    byte-determinism contract; they feed the engine's metrics snapshot
+    and the extended stats line only.
+    """
 
     total: int = 0
     hits: int = 0
@@ -362,16 +384,42 @@ class EngineStats:
     retried: int = 0
     failures: List[PointFailure] = field(default_factory=list)
     quarantined: bool = False
+    #: per executed point: worker-side wall time (ms)
+    point_wall_ms: List[float] = field(default_factory=list)
+    #: per cache hit: time to read + parse the cached report (ms)
+    hit_latency_ms: List[float] = field(default_factory=list)
+    #: fraction of the pool's wall-time capacity spent inside points
+    utilization: float = 0.0
+    #: where the metrics snapshot was written (None: not requested)
+    metrics_path: Optional[str] = None
 
     @property
     def hit_ratio(self) -> float:
         return self.hits / self.total if self.total else 0.0
+
+    @property
+    def p50_ms(self) -> float:
+        from repro.metrics.events import percentile
+
+        return percentile(self.point_wall_ms, 50)
+
+    @property
+    def p99_ms(self) -> float:
+        from repro.metrics.events import percentile
+
+        return percentile(self.point_wall_ms, 99)
 
     def summary(self, jobs: int) -> str:
         line = ("engine: %d points — %d cached (%d%%), %d executed, "
                 "%d failed [jobs=%d]"
                 % (self.total, self.hits, round(100 * self.hit_ratio),
                    self.executed, len(self.failures), jobs))
+        if self.point_wall_ms:
+            line += (" — util %d%%, p50 %.0fms, p99 %.0fms"
+                     % (round(100 * self.utilization),
+                        self.p50_ms, self.p99_ms))
+        if self.metrics_path:
+            line += " — metrics=%s" % self.metrics_path
         if self.quarantined and self.failures:
             line += " — %d point(s) quarantined" % len(self.failures)
         return line
@@ -414,6 +462,10 @@ class Engine:
                      ``<cache_dir>/failures.json`` when caching.
     ``spec_defaults``  field overrides (``faults``, ``audit``, ...)
                      applied to every spec via ``dataclasses.replace``.
+    ``metrics_out``  path for the engine's ``repro.metrics-snapshot``
+                     document; rewritten (atomically) after every
+                     completed point so a live dashboard
+                     (``python -m repro.metrics.top``) can tail it.
     """
 
     def __init__(self, jobs: Optional[int] = None, cache_dir=None,
@@ -424,7 +476,8 @@ class Engine:
                  backoff: float = 0.0,
                  keep_going: bool = False,
                  manifest_path=None,
-                 spec_defaults: Optional[Dict[str, Any]] = None) -> None:
+                 spec_defaults: Optional[Dict[str, Any]] = None,
+                 metrics_out=None) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, jobs)
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.retries = max(0, retries)
@@ -435,6 +488,7 @@ class Engine:
         self.keep_going = keep_going
         self.manifest_path = Path(manifest_path) if manifest_path else None
         self.spec_defaults = dict(spec_defaults or {})
+        self.metrics_out = Path(metrics_out) if metrics_out else None
         self.last_stats = EngineStats()
 
     @classmethod
@@ -469,25 +523,43 @@ class Engine:
 
         pending: List[int] = []
         for i, key in enumerate(keys):
-            cached = self.cache.get(key) if self.cache else None
+            if self.cache:
+                lookup_start = time.perf_counter()
+                cached = self.cache.get(key)
+                lookup_ms = (time.perf_counter() - lookup_start) * 1000.0
+            else:
+                cached = None
             if cached is not None:
                 reports[i] = cached
                 stats.hits += 1
+                stats.hit_latency_ms.append(lookup_ms)
                 self._notify("hit", stats, specs[i])
             else:
                 pending.append(i)
 
         new_entries: Dict[str, Dict[str, object]] = {}
+        queue_depth = [len(pending)]
+        exec_start = time.perf_counter()
+
+        def note_wall(wall_ms: float) -> None:
+            stats.point_wall_ms.append(wall_ms)
+            elapsed_ms = (time.perf_counter() - exec_start) * 1000.0
+            if elapsed_ms > 0:
+                stats.utilization = min(
+                    1.0, sum(stats.point_wall_ms)
+                    / (self.jobs * elapsed_ms))
 
         def commit(i: int, report: Dict) -> None:
             reports[i] = report
             stats.executed += 1
+            queue_depth[0] -= 1
             if self.cache:
                 # written the moment the point lands, so an interrupted
                 # sweep resumes from here instead of from scratch
                 self.cache.put(keys[i], report)
                 new_entries[keys[i]] = specs[i].to_payload()
             self._notify("done", stats, specs[i])
+            self._write_metrics(stats, queue_depth[0])
 
         def payload_of(i: int) -> Dict[str, object]:
             payload = specs[i].to_payload()
@@ -505,15 +577,17 @@ class Engine:
                 ctx = multiprocessing.get_context(
                     "fork" if "fork" in methods else "spawn")
                 with ctx.Pool(min(self.jobs, len(tasks))) as pool:
-                    for i, report, err in pool.imap_unordered(
-                            self._runner, tasks):
+                    for result in pool.imap_unordered(self._runner, tasks):
+                        i, report, err, wall_ms = _unpack(result)
+                        note_wall(wall_ms)
                         if err is None:
                             commit(i, report)
                         else:
                             failed.append((i, _normalize_error(err)))
             else:
                 for task in tasks:
-                    i, report, err = self._runner(task)
+                    i, report, err, wall_ms = _unpack(self._runner(task))
+                    note_wall(wall_ms)
                     if err is None:
                         commit(i, report)
                     else:
@@ -530,12 +604,15 @@ class Engine:
                 if self.backoff:
                     time.sleep(self.backoff * attempts)
                 attempts += 1
-                __, report, raw = self._runner((i, payload_of(i)))
+                __, report, raw, wall_ms = _unpack(
+                    self._runner((i, payload_of(i))))
+                note_wall(wall_ms)
                 if raw is not None:
                     err = _normalize_error(raw)
             if report is not None:
                 commit(i, report)
             else:
+                queue_depth[0] -= 1
                 failures.append(PointFailure(
                     specs[i], attempts, err.get("traceback", ""),
                     error_type=err.get("type", ""),
@@ -544,8 +621,9 @@ class Engine:
 
         if self.cache and new_entries:
             self.cache.update_manifest(new_entries, fingerprint)
+        stats.failures = failures
+        self._write_metrics(stats, queue_depth[0], final=True)
         if failures:
-            stats.failures = failures
             self._write_failure_manifest(failures, fingerprint)
             if not self.keep_going:
                 raise EngineError(failures)
@@ -568,6 +646,21 @@ class Engine:
             self.progress(phase, stats.hits + stats.executed,
                           stats.total, spec)
 
+    def _write_metrics(self, stats: EngineStats, queue_depth: int,
+                       final: bool = False) -> None:
+        """Rewrite the live metrics snapshot (no-op without
+        ``metrics_out``).  Called after every committed point and once
+        at the end, so a dashboard tailing the file always sees a
+        complete, schema-valid document."""
+        if self.metrics_out is None:
+            return
+        from repro.metrics.telemetry import write_snapshot
+
+        snapshot = engine_metrics_snapshot(stats, self.jobs,
+                                           queue_depth=queue_depth,
+                                           final=final)
+        stats.metrics_path = write_snapshot(snapshot, self.metrics_out)
+
     def failure_manifest_path(self) -> Optional[Path]:
         """Where quarantined failures are recorded (None: nowhere)."""
         if self.manifest_path is not None:
@@ -588,6 +681,64 @@ class Engine:
             "failures": [f.to_payload() for f in failures],
         }
         atomic_write_text(path, json.dumps(doc, indent=2, sort_keys=True))
+
+
+def engine_metrics_snapshot(stats: EngineStats, jobs: int,
+                            queue_depth: int = 0,
+                            final: bool = False) -> Dict[str, object]:
+    """The engine's ``repro.metrics-snapshot`` document.
+
+    Rebuilt from :class:`EngineStats` on every write — the stats object
+    is the single source of truth, so incremental and final snapshots
+    can never disagree.  Wall-clock values are expected here (unlike
+    the simulator snapshot, which is cycle-domain only).
+    """
+    from repro.metrics.telemetry import (
+        FAST_MS_BUCKETS,
+        MS_BUCKETS,
+        MetricsRegistry,
+    )
+
+    registry = MetricsRegistry()
+    registry.counter(
+        "engine_points_total", help="points in this sweep").inc(stats.total)
+    registry.counter(
+        "engine_cache_hits", help="points served from cache").inc(stats.hits)
+    registry.counter(
+        "engine_points_executed", help="points executed").inc(stats.executed)
+    registry.counter(
+        "engine_retries", help="retry attempts").inc(stats.retried)
+    registry.counter(
+        "engine_failures",
+        help="points failed after retries").inc(len(stats.failures))
+    registry.counter(
+        "engine_quarantined",
+        help="failed points quarantined instead of raising").inc(
+        len(stats.failures) if stats.quarantined else 0)
+    registry.gauge(
+        "engine_queue_depth",
+        help="points still waiting to complete").set(queue_depth)
+    registry.gauge(
+        "engine_jobs", help="worker-pool width").set(jobs)
+    registry.gauge(
+        "engine_cache_hit_ratio",
+        help="cached / total").set(round(stats.hit_ratio, 4))
+    registry.gauge(
+        "engine_worker_utilization",
+        help="point wall time / pool wall-time capacity").set(
+        round(stats.utilization, 4))
+    wall = registry.histogram(
+        "engine_point_wall_ms", MS_BUCKETS,
+        help="worker-side wall time per executed point (ms)")
+    for ms in stats.point_wall_ms:
+        wall.observe(ms)
+    hit = registry.histogram(
+        "engine_cache_hit_ms", FAST_MS_BUCKETS,
+        help="time to read and parse a cached report (ms)")
+    for ms in stats.hit_latency_ms:
+        hit.observe(ms)
+    return registry.snapshot(meta={"kind": "engine", "jobs": jobs,
+                                   "complete": final})
 
 
 def point_from_report(report: Dict) -> ExperimentPoint:

@@ -97,6 +97,10 @@ class Machine:
         self.ready: deque = deque()
         self.current: Optional[HWThread] = None
         self._dispatch = self._build_dispatch()
+        #: optional cycle-domain sampling profiler; None keeps the
+        #: fetch loop's guard a single hoisted-local check
+        self._profiler = None
+        self.telemetry = None
 
     def _build_dispatch(self) -> Dict[str, Callable]:
         """Precompute the opcode -> bound-handler table."""
@@ -134,6 +138,20 @@ class Machine:
         self.scheme.register(thread.windows)
         self.ready.append(thread)
         return thread
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Arm aggregate metrics, mirroring ``Kernel.attach_telemetry``:
+        the scheme gets its switch/trap/occupancy histograms and the
+        fetch loop gets per-opcode cycle attribution."""
+        from repro.metrics.telemetry import arm_scheme_histograms
+
+        self.telemetry = telemetry
+        arm_scheme_histograms(telemetry, self.scheme,
+                              self.cpu.n_windows)
+        profiler = telemetry.profiler
+        if profiler is not None:
+            profiler.bind(self.cpu)
+        self._profiler = profiler
 
     # -- memory helpers ------------------------------------------------------
 
@@ -176,21 +194,35 @@ class Machine:
         instrs = self.program.instructions
         n_instrs = len(instrs)
         dispatch = self._dispatch
+        prof = self._profiler
+        # countdown hoisted into a local, residue persisted in the
+        # finally (see CycleProfiler: it must survive short quanta)
+        prof_cd = prof._cd if prof is not None else 0
         executed = 0
-        while executed < budget:
-            pc = thread.pc
-            if not 0 <= pc < n_instrs:
-                raise MachineFault(
-                    "%s: pc %d out of range" % (thread.name, pc))
-            instr = instrs[pc]
-            executed += 1
-            thread.instructions += 1
-            handler = dispatch.get(instr.op)
-            if handler is None:  # pragma: no cover - assembler rejects
-                raise MachineFault("unknown op %r" % instr.op)
-            if handler(thread, instr):
-                return executed
-        return executed
+        try:
+            while executed < budget:
+                pc = thread.pc
+                if not 0 <= pc < n_instrs:
+                    raise MachineFault(
+                        "%s: pc %d out of range" % (thread.name, pc))
+                instr = instrs[pc]
+                executed += 1
+                thread.instructions += 1
+                if prof is not None:
+                    prof_cd -= 1
+                    if prof_cd <= 0:
+                        prof_cd = prof.check_every
+                        prof.check_op(thread.name, instr.op,
+                                      self.counters)
+                handler = dispatch.get(instr.op)
+                if handler is None:  # pragma: no cover - assembler rejects
+                    raise MachineFault("unknown op %r" % instr.op)
+                if handler(thread, instr):
+                    return executed
+            return executed
+        finally:
+            if prof is not None:
+                prof._cd = prof_cd
 
     # -- opcode handlers (one entry each in the dispatch table) --------------
 

@@ -1,0 +1,126 @@
+"""Metrics exporters: ``python -m repro.metrics.export``.
+
+Converts a ``repro.metrics-snapshot`` document (written by the
+``--metrics-out`` flags, or embedded in a RunReport under its
+``metrics`` key) into scrape- and tooling-friendly formats:
+
+    python -m repro.metrics.export snapshot.json --prom
+    python -m repro.metrics.export report.json --flamegraph flame.json
+    python -m repro.metrics.export snapshot.json --collapsed | flamegraph.pl
+
+* ``--prom`` (default): the Prometheus text exposition format, with
+  the snapshot's meta entries attached as labels to every series;
+* ``--flamegraph [PATH]``: a nested ``{name, value, children}`` JSON
+  tree (d3-flame-graph style) built from the cycle-domain profiler's
+  sampled stacks, printed to stdout when no path is given;
+* ``--collapsed``: ``stack;frames cycles`` lines (Brendan Gregg's
+  collapsed format), pipeable straight into ``flamegraph.pl``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.ioutil import atomic_write_text
+from repro.metrics.profiler import flamegraph_from_stacks
+from repro.metrics.report import SCHEMA_NAME as REPORT_SCHEMA
+from repro.metrics.telemetry import (
+    SNAPSHOT_SCHEMA,
+    to_prometheus,
+    validate_snapshot,
+)
+
+
+def load_snapshot(path) -> Dict[str, Any]:
+    """Read a snapshot from ``path`` — either a bare
+    ``repro.metrics-snapshot`` document or a RunReport embedding one."""
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict):
+        raise ValueError("%s: not a JSON object" % path)
+    schema = doc.get("schema")
+    if schema == SNAPSHOT_SCHEMA:
+        return validate_snapshot(doc)
+    if schema == REPORT_SCHEMA:
+        metrics = doc.get("metrics")
+        if metrics is None:
+            raise ValueError(
+                "%s: RunReport has no embedded metrics section (run "
+                "with --metrics)" % path)
+        return validate_snapshot(metrics)
+    raise ValueError("%s: unrecognised schema %r" % (path, schema))
+
+
+def _stacks_of(snapshot: Dict[str, Any]) -> Dict[str, int]:
+    profile = snapshot.get("profile")
+    if not profile or not profile.get("stacks"):
+        raise ValueError(
+            "snapshot has no profiler stacks (profiling disabled, or "
+            "the run was too short to cross a sample boundary)")
+    return profile["stacks"]
+
+
+def collapsed_stacks(snapshot: Dict[str, Any]) -> str:
+    stacks = _stacks_of(snapshot)
+    return "".join("%s %d\n" % (stack, cycles)
+                   for stack, cycles in sorted(stacks.items()))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.metrics.export",
+        description="Export a repro.metrics-snapshot document as "
+                    "Prometheus text, a flamegraph JSON, or collapsed "
+                    "stacks.")
+    parser.add_argument("snapshot",
+                        help="metrics snapshot JSON, or a RunReport "
+                             "with an embedded metrics section")
+    parser.add_argument("--prom", action="store_true",
+                        help="print the Prometheus text exposition "
+                             "format (default)")
+    parser.add_argument("--no-meta-labels", action="store_true",
+                        help="do not attach snapshot meta entries as "
+                             "Prometheus labels")
+    parser.add_argument("--flamegraph", metavar="PATH", nargs="?",
+                        const="-", default=None,
+                        help="write the flamegraph JSON tree here "
+                             "('-' or no value: stdout)")
+    parser.add_argument("--collapsed", action="store_true",
+                        help="print collapsed stacks (flamegraph.pl "
+                             "input)")
+    args = parser.parse_args(argv)
+
+    try:
+        snapshot = load_snapshot(args.snapshot)
+    except (OSError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+
+    wrote = False
+    try:
+        if args.flamegraph is not None:
+            tree = flamegraph_from_stacks(_stacks_of(snapshot))
+            text = json.dumps(tree, indent=2, sort_keys=True)
+            if args.flamegraph == "-":
+                print(text)
+            else:
+                atomic_write_text(args.flamegraph, text + "\n")
+                print("wrote flamegraph JSON: %s" % args.flamegraph)
+            wrote = True
+        if args.collapsed:
+            sys.stdout.write(collapsed_stacks(snapshot))
+            wrote = True
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 1
+    if args.prom or not wrote:
+        sys.stdout.write(to_prometheus(
+            snapshot, meta_labels=not args.no_meta_labels))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

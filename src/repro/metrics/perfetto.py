@@ -122,6 +122,37 @@ class PerfettoExporter:
             "args": {"owner": tid},
         })
 
+    # -- telemetry overlays --------------------------------------------------
+
+    def add_counter_track(self, name: str, samples,
+                          pid: int = THREADS_PID, tid: int = 0) -> int:
+        """Append a counter ("C") track from ``(cycle, value)`` samples.
+
+        Overlays telemetry series — window occupancy from the
+        cycle-domain profiler, hit rates, queue depths — on the event
+        trace, alongside the built-in ready-queue counter.  Returns the
+        number of samples added.
+        """
+        count = 0
+        for cycle, value in samples:
+            self._counters.append({
+                "name": name, "ph": "C", "ts": cycle,
+                "pid": pid, "tid": tid,
+                "args": {"value": value},
+            })
+            count += 1
+        return count
+
+    def add_telemetry(self, telemetry) -> int:
+        """Add the standard counter tracks from a
+        :class:`repro.metrics.telemetry.RunTelemetry` bundle (currently
+        the profiler's window-occupancy series)."""
+        profiler = telemetry.profiler
+        if profiler is None or not profiler.occupancy:
+            return 0
+        return self.add_counter_track("window_occupancy",
+                                      profiler.occupancy)
+
     def finish(self, cycle: Optional[int] = None) -> None:
         """Close every open slice (idempotent; run automatically on the
         ``run_end`` event)."""

@@ -25,7 +25,9 @@ Schema (``repro.run-report`` version 1)::
       "timeline": {"samples", "dropped", "occupancy_ratio", "churn"}
                   | null,
       "events":   {"total", "by_kind", "switch_cost",
-                   "per_thread_cycles"} | null
+                   "per_thread_cycles"} | null,
+      "metrics":  {...repro.metrics-snapshot v1 document...}
+                  (present only when telemetry ran)
     }
 
 All mapping keys are strings so a report survives a JSON round-trip
@@ -47,13 +49,19 @@ def _str_keys(mapping: Dict[Any, Any]) -> Dict[str, Any]:
 
 def build_run_report(result, config: Optional[Dict[str, Any]] = None,
                      tracker=None, timeline=None,
-                     recorder=None) -> Dict[str, Any]:
+                     recorder=None, metrics=None) -> Dict[str, Any]:
     """Assemble the report dict for one finished run.
 
     ``result`` is the :class:`repro.runtime.kernel.RunResult`; the
     optional observers contribute their sections when given.  The
     ``counters`` section reproduces ``Counters.snapshot()`` exactly
     (with per-thread keys stringified for JSON).
+
+    ``metrics`` is an optional ``repro.metrics-snapshot`` document (see
+    :mod:`repro.metrics.telemetry`); it is embedded under a ``metrics``
+    key *only when given*, so reports from uninstrumented runs stay
+    byte-identical to earlier schema-v1 reports (the golden files and
+    the content-addressed cache depend on that).
     """
     counters = result.counters
     snap = dict(counters.snapshot())
@@ -112,7 +120,7 @@ def build_run_report(result, config: Optional[Dict[str, Any]] = None,
             "per_thread_cycles": _str_keys(recorder.per_thread_cycles()),
         }
 
-    return {
+    report = {
         "schema": SCHEMA_NAME,
         "version": SCHEMA_VERSION,
         "config": dict(config or {}),
@@ -124,6 +132,9 @@ def build_run_report(result, config: Optional[Dict[str, Any]] = None,
         "timeline": timeline_stats,
         "events": events,
     }
+    if metrics is not None:
+        report["metrics"] = metrics
+    return report
 
 
 def to_json(report: Dict[str, Any], indent: Optional[int] = 2) -> str:

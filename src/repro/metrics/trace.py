@@ -52,6 +52,12 @@ def record_run(args):
     kernel.tracker = tracker
     timeline = OccupancyTimeline()
     kernel.timeline = timeline
+    telemetry = None
+    if args.metrics or args.metrics_out:
+        from repro.metrics.telemetry import RunTelemetry
+
+        telemetry = RunTelemetry()
+        telemetry.attach(kernel)
 
     if args.app == "spellcheck":
         from repro.apps.spellcheck.pipeline import (
@@ -84,7 +90,9 @@ def record_run(args):
     result = kernel.run()
     if injector is not None:
         print(injector.summary())
-    return result, config, recorder, exporter, tracker, timeline
+    if telemetry is not None:
+        telemetry.finalize(result)
+    return result, config, recorder, exporter, tracker, timeline, telemetry
 
 
 def print_events(recorder: TraceRecorder, args) -> None:
@@ -212,11 +220,17 @@ def main(argv=None) -> int:
     parser.add_argument("--crash-dir", metavar="DIR", default=None,
                         help="write a replayable crash bundle here on "
                              "any simulator error")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect aggregate telemetry (histograms + "
+                             "cycle-domain profiler)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the repro.metrics-snapshot JSON here "
+                             "(implies --metrics)")
     args = parser.parse_args(argv)
 
     try:
-        result, config, recorder, exporter, tracker, timeline = \
-            record_run(args)
+        result, config, recorder, exporter, tracker, timeline, telemetry \
+            = record_run(args)
     except Exception as exc:
         from repro.errors import ReproError
 
@@ -231,16 +245,28 @@ def main(argv=None) -> int:
                   % bundle, file=sys.stderr)
         return 1
 
+    metrics_snapshot = None
+    if telemetry is not None:
+        metrics_snapshot = telemetry.snapshot(dict(config))
     wrote = False
     if args.perfetto:
+        if telemetry is not None:
+            exporter.add_telemetry(telemetry)
         exporter.write(args.perfetto)
         print("wrote Perfetto trace: %s" % args.perfetto)
         wrote = True
     if args.report:
         report = build_run_report(result, config=config, tracker=tracker,
-                                  timeline=timeline, recorder=recorder)
+                                  timeline=timeline, recorder=recorder,
+                                  metrics=metrics_snapshot)
         write_report(report, args.report)
         print("wrote RunReport: %s" % args.report)
+        wrote = True
+    if args.metrics_out:
+        from repro.metrics.telemetry import write_snapshot
+
+        write_snapshot(metrics_snapshot, args.metrics_out)
+        print("wrote metrics snapshot: %s" % args.metrics_out)
         wrote = True
     if args.list:
         print_events(recorder, args)

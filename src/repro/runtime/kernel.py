@@ -107,6 +107,11 @@ class Kernel:
         self.events.watch_activity(self._set_tracing)
         self._tracker = None
         self._timeline = None
+        #: optional :class:`repro.metrics.telemetry.RunTelemetry`; the
+        #: profiler is mirrored into ``_profiler`` so the step loop's
+        #: guard is a hoisted-local None check (attach_telemetry)
+        self.telemetry = None
+        self._profiler = None
         self._running = False
         self._steps = 0
         #: progress clock: ticks, calls, returns, spawns and completed
@@ -170,6 +175,24 @@ class Kernel:
         if timeline is not None:
             timeline.cpu = self.cpu
             self.events.subscribe(timeline)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Arm aggregate metrics (:mod:`repro.metrics.telemetry`).
+
+        Hands the scheme its per-scheme switch/trap/occupancy
+        histograms and arms the cycle-domain sampling profiler; until
+        this is called every instrumented site holds ``None`` and the
+        hot paths pay a single ``is None`` branch.
+        """
+        from repro.metrics.telemetry import arm_scheme_histograms
+
+        self.telemetry = telemetry
+        arm_scheme_histograms(telemetry, self.scheme,
+                              self.cpu.n_windows)
+        profiler = telemetry.profiler
+        if profiler is not None:
+            profiler.bind(self.cpu)
+        self._profiler = profiler
 
     def enable_tracing(self, recorder=None):
         """Subscribe (and return) a TraceRecorder capturing every event."""
@@ -345,73 +368,86 @@ class Kernel:
         counters = cpu.counters
         verify = self.verify_registers
         watchdog = self._watchdog
+        prof = self._profiler
         gen_stack = thread.gen_stack
-        while True:
-            self._steps += 1
-            if max_steps is not None and self._steps >= max_steps:
-                return
-            if watchdog is not None and watchdog.expired(self._progress,
-                                                         self._steps):
-                raise LivelockError(
-                    "no progress for %d steps (watchdog max_stall=%d); "
-                    "threads: %s" % (
-                        watchdog.stalled_for(self._progress, self._steps),
-                        watchdog.max_stall,
-                        ", ".join("%s=%s" % (t.name, t.state)
-                                  for t in self.threads)),
-                    max_stall=watchdog.max_stall,
-                    progress=self._progress)
-            if thread.pending is not None:
-                if not self._continue_pending(thread):
-                    self._block(thread)
+        try:
+            while True:
+                self._steps += 1
+                if max_steps is not None and self._steps >= max_steps:
                     return
-                self._progress += 1
-            gen = gen_stack[-1]
-            try:
-                cmd = gen.send(thread.resume_value)
-            except StopIteration as stop:
-                if self._handle_return(thread, getattr(stop, "value", None)):
-                    return  # thread finished
-                continue
-            thread.resume_value = None
-            t = type(cmd)
-            if t is Tick:
-                counters.compute_cycles += cmd.cycles
-                self._progress += 1
-            elif t is Call:
-                self._do_call(thread, cmd)
-            elif t is Read:
-                thread.pending = ("read", cmd.stream, cmd.max_bytes)
-            elif t is Write:
-                thread.pending = ("write", cmd.stream, cmd.data, 0)
-            elif t is ReadLine:
-                thread.pending = ("readline", cmd.stream)
-            elif t is CloseStream:
-                self._do_close(cmd.stream)
-            elif t is YieldCPU:
-                if self.ready:
-                    if self._tracing:
-                        self.events.emit("yield", tid=thread.tid)
-                    self.ready.push_yielded(thread)
-                    self.last_suspended = thread
-                    self.current = None
-                    return
-                # Nobody else to run: keep going, no switch, no cost.
-            elif t is FlushHint:
-                thread.flush_on_switch = cmd.flush
-            elif t is Spawn:
-                thread.resume_value = self._spawn(
-                    cmd.factory, cmd.args, cmd.name)
-                self._progress += 1
-            elif t is Join:
-                if cmd.thread is thread:
+                if watchdog is not None and watchdog.expired(self._progress,
+                                                             self._steps):
+                    raise LivelockError(
+                        "no progress for %d steps (watchdog max_stall=%d); "
+                        "threads: %s" % (
+                            watchdog.stalled_for(self._progress, self._steps),
+                            watchdog.max_stall,
+                            ", ".join("%s=%s" % (t.name, t.state)
+                                      for t in self.threads)),
+                        max_stall=watchdog.max_stall,
+                        progress=self._progress)
+                if thread.pending is not None:
+                    if not self._continue_pending(thread):
+                        self._block(thread)
+                        return
+                    self._progress += 1
+                gen = gen_stack[-1]
+                try:
+                    cmd = gen.send(thread.resume_value)
+                except StopIteration as stop:
+                    if self._handle_return(thread, getattr(stop, "value", None)):
+                        return  # thread finished
+                    continue
+                thread.resume_value = None
+                t = type(cmd)
+                if t is Tick:
+                    counters.compute_cycles += cmd.cycles
+                    self._progress += 1
+                elif t is Call:
+                    self._do_call(thread, cmd)
+                elif t is Read:
+                    thread.pending = ("read", cmd.stream, cmd.max_bytes)
+                elif t is Write:
+                    thread.pending = ("write", cmd.stream, cmd.data, 0)
+                elif t is ReadLine:
+                    thread.pending = ("readline", cmd.stream)
+                elif t is CloseStream:
+                    self._do_close(cmd.stream)
+                elif t is YieldCPU:
+                    if self.ready:
+                        if self._tracing:
+                            self.events.emit("yield", tid=thread.tid)
+                        self.ready.push_yielded(thread)
+                        self.last_suspended = thread
+                        self.current = None
+                        return
+                    # Nobody else to run: keep going, no switch, no cost.
+                elif t is FlushHint:
+                    thread.flush_on_switch = cmd.flush
+                elif t is Spawn:
+                    thread.resume_value = self._spawn(
+                        cmd.factory, cmd.args, cmd.name)
+                    self._progress += 1
+                elif t is Join:
+                    if cmd.thread is thread:
+                        raise RuntimeFault(
+                            "%s tried to join itself" % thread.name)
+                    thread.pending = ("join", cmd.thread)
+                else:
                     raise RuntimeFault(
-                        "%s tried to join itself" % thread.name)
-                thread.pending = ("join", cmd.thread)
-            else:
-                raise RuntimeFault(
-                    "thread %s yielded %r; expected a runtime op"
-                    % (thread.name, cmd))
+                        "thread %s yielded %r; expected a runtime op"
+                        % (thread.name, cmd))
+        finally:
+            # The profiler samples on quantum boundaries only — the
+            # per-step path carries zero profiler code, and a quantum
+            # (one thread's uninterrupted run) is the natural unit of
+            # cycle attribution.  Stacks are captured where threads
+            # block or yield; per-op attribution is derived exactly
+            # from the run counters at finalize time.
+            if prof is not None:
+                prof._cd -= 1
+                if prof._cd <= 0:
+                    prof._check(thread, None, counters)
 
     # -- call / return ----------------------------------------------------------
 
