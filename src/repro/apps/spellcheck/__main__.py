@@ -31,7 +31,8 @@ from repro.runtime.kernel import Kernel
 def check_document(document: bytes, dict1: bytes, dict2: bytes,
                    m: int, n: int, scheme: str, n_windows: int,
                    instrument=None, faults=None, audit: bool = False,
-                   watchdog=None, crash_dir=None, crash_config=None):
+                   watchdog=None, crash_dir=None, crash_config=None,
+                   core=None):
     """Run the pipeline over arbitrary document bytes.
 
     ``instrument`` (optional) receives the kernel before spawning, so
@@ -48,7 +49,8 @@ def check_document(document: bytes, dict1: bytes, dict2: bytes,
     kernel = Kernel(n_windows=n_windows, scheme=scheme,
                     verify_registers=faults is not None,
                     faults=faults, audit=audit, watchdog=watchdog,
-                    crash_dir=crash_dir, crash_config=crash_config)
+                    crash_dir=crash_dir, crash_config=crash_config,
+                    core=core)
     if instrument is not None:
         instrument(kernel)
     s1 = kernel.stream(m, "S1")
@@ -114,6 +116,10 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write the repro.metrics-snapshot JSON here "
                              "(implies --metrics)")
+    parser.add_argument("--core", choices=("batched", "generator"),
+                        default=None,
+                        help="execution core (default: $REPRO_CORE or "
+                             "the batched run-until-event core)")
     args = parser.parse_args(argv)
 
     if args.file:
@@ -175,7 +181,8 @@ def main(argv=None) -> int:
             document, dict1, dict2, args.m, args.n, args.scheme,
             args.windows, instrument=instrument, faults=injector,
             audit=args.audit, watchdog=args.watchdog,
-            crash_dir=args.crash_dir, crash_config=crash_config)
+            crash_dir=args.crash_dir, crash_config=crash_config,
+            core=args.core)
     except Exception as exc:
         from repro.errors import ReproError
 

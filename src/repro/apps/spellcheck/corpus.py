@@ -22,6 +22,7 @@ exactly reproducible.
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
 #: the paper's draft was 40500 bytes long (§5.1)
@@ -151,7 +152,19 @@ def generate_dictionaries(seed: int = DEFAULT_SEED,
     dict2 is the base-word list (for T3); dict1 is the valid-derivative
     list (for T2).  Both are newline-separated and padded/truncated to
     ``size`` bytes by adjusting the number of entries.
+
+    Generation is pure in (seed, size), so results are memoized —
+    benchmark repeats and sweep grids rebuild the same dictionaries
+    many times.  The byte streams are immutable and shared; the
+    vocabulary list is copied per call.
     """
+    dict1, dict2, vocab = _dictionaries_cached(seed, size)
+    return dict1, dict2, list(vocab)
+
+
+@lru_cache(maxsize=64)
+def _dictionaries_cached(seed: int,
+                         size: int) -> Tuple[bytes, bytes, tuple]:
     vocab = generate_vocabulary(seed, bases_for_scale(size / DICT_SIZE))
     rng = random.Random(seed + 1)
 
@@ -174,7 +187,7 @@ def generate_dictionaries(seed: int = DEFAULT_SEED,
     # spelling by rule (a large sample of the vocabulary).
     derivable = [base for base in vocab if rng.random() < 0.85]
     dict1 = pack(derivable)
-    return dict1, dict2, vocab
+    return dict1, dict2, tuple(vocab)
 
 
 def parse_dictionary(data: bytes) -> frozenset:
@@ -195,7 +208,19 @@ def generate_corpus(seed: int = DEFAULT_SEED, scale: float = 1.0,
     fraction of words are misspelled or replaced with unknown words so
     the spell checker produces output of a realistic size (the paper's
     T5 handled about 1000 bytes).
+
+    Generation is pure in its arguments and the result is immutable
+    bytes, so documents are memoized — benchmark repeats and sweep
+    grids rebuild the same corpus many times.
     """
+    return _corpus_cached(seed, scale, misspelling_rate, unknown_rate,
+                          naive_derivative_rate)
+
+
+@lru_cache(maxsize=64)
+def _corpus_cached(seed: int, scale: float, misspelling_rate: float,
+                   unknown_rate: float,
+                   naive_derivative_rate: float) -> bytes:
     target = max(200, int(round(CORPUS_SIZE * scale)))
     vocab = generate_vocabulary(seed, bases_for_scale(scale))
     rng = random.Random(seed + 2)

@@ -99,7 +99,8 @@ def run_spellchecker(n_windows: int, scheme: str, config: SpellConfig,
                      max_steps: Optional[int] = None,
                      instrument=None, faults=None, audit: bool = False,
                      watchdog: Optional[int] = None, crash_dir=None,
-                     crash_config=None) -> Tuple[RunResult, bytes]:
+                     crash_config=None,
+                     core: Optional[str] = None) -> Tuple[RunResult, bytes]:
     """Build and run the pipeline; returns (result, misspelling report).
 
     ``verify_registers`` defaults to False here (unlike the kernel
@@ -114,6 +115,10 @@ def run_spellchecker(n_windows: int, scheme: str, config: SpellConfig,
     knobs, forwarded to the kernel (see :mod:`repro.faults`).  When
     ``crash_dir`` is set and no explicit ``crash_config`` is given, a
     replayable workload description is embedded in any crash bundle.
+
+    ``core`` selects the execution core ("batched"/"generator"; see
+    :mod:`repro.runtime.batch`) — None picks up ``$REPRO_CORE`` or the
+    batched default.
     """
     if crash_dir is not None and crash_config is None:
         crash_config = {
@@ -127,7 +132,8 @@ def run_spellchecker(n_windows: int, scheme: str, config: SpellConfig,
                     queue_policy=queue_policy, allocation=allocation,
                     verify_registers=verify_registers,
                     faults=faults, audit=audit, watchdog=watchdog,
-                    crash_dir=crash_dir, crash_config=crash_config)
+                    crash_dir=crash_dir, crash_config=crash_config,
+                    core=core)
     if instrument is not None:
         instrument(kernel)
     build_spellchecker(kernel, config)

@@ -17,7 +17,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.scheme import Scheme
-from repro.metrics.counters import TrapRecord
+from repro.metrics.counters import SwitchRecord, TrapRecord
+from repro.windows.backing_store import Frame
 from repro.windows.errors import WindowGeometryError, WindowIntegrityError
 from repro.windows.occupancy import FRAME, FREE, RESERVED
 from repro.windows.thread_windows import ThreadWindows
@@ -129,7 +130,8 @@ class NSScheme(Scheme):
             mid = base + 8
             regs[base:mid] = frame.ins
             regs[mid:mid + 8] = frame.local_regs
-            wf.release_frame(frame)
+            if len(frame.ins) == 8 and len(frame.local_regs) == 8:
+                wf._frame_pool.append(frame)
             kinds[w] = FRAME
             tids[w] = tw.tid
             last = w
@@ -188,7 +190,43 @@ class NSScheme(Scheme):
         if out_tw is not None and out_tw.resident > 0:
             ob = wf._out_base[out_tw.cwp]
             out_tw.saved_outs = regs[ob:ob + 8]
-            saves = self._flush_all_inline(out_tw, fault_store)
+            # -- _flush_all_inline, inlined (one flush per quantum;
+            # the loop spills every resident window, bottom first) --
+            above = wf._above
+            in_base = wf._in_base
+            pool = wf._frame_pool
+            frames = out_tw.store.frames
+            bottom = out_tw.bottom
+            depth = out_tw.depth - out_tw.resident + 1
+            while out_tw.resident > 0:
+                base = in_base[bottom]
+                mid = base + 8
+                if pool:
+                    frame = pool.pop()
+                    frame.ins[:] = regs[base:mid]
+                    frame.local_regs[:] = regs[mid:mid + 8]
+                    frame.depth = depth
+                else:
+                    frame = Frame(regs[base:mid], regs[mid:mid + 8],
+                                  depth)
+                if fault_store is not None:
+                    fault_store("spill", out_tw, frame, self.counters)
+                if frames:
+                    last_depth = frames[-1].depth
+                    if last_depth >= 0 and depth >= 0 \
+                            and depth != last_depth + 1:
+                        raise WindowIntegrityError(
+                            "non-contiguous spill: depth %d pushed "
+                            "over depth %d" % (depth, last_depth))
+                frames.append(frame)
+                kinds[bottom] = FREE
+                tids[bottom] = None
+                out_tw.resident -= 1
+                bottom = above[bottom]
+                depth += 1
+                saves += 1
+            out_tw.cwp = None
+            out_tw.bottom = None
         top = wf._above[self.reserved]
         if kinds[top] is not FREE:
             raise WindowGeometryError(
@@ -215,7 +253,8 @@ class NSScheme(Scheme):
                     expected=in_tw.depth)
             regs[base:mid] = frame.ins
             regs[mid:mid + 8] = frame.local_regs
-            wf.release_frame(frame)
+            if len(frame.ins) == 8 and len(frame.local_regs) == 8:
+                wf._frame_pool.append(frame)
             restores = 1
         else:
             regs[base:base + 16] = [0] * 16
@@ -242,7 +281,25 @@ class NSScheme(Scheme):
         if cycles is None:
             cycles = self.cost.ns_switch_cost(saves, restores)
             cache[key] = cycles
-        self._record_switch(out_tw, in_tw, saves, restores, cycles)
+        # _record_switch, inlined (one call per quantum)
+        counters = self.counters
+        counters.context_switches += 1
+        counters.switch_transfer_hist[(saves, restores)] += 1
+        counters.windows_spilled += saves
+        counters.windows_restored += restores
+        counters.switch_cycles += cycles
+        in_tw.stat_switches += 1
+        if counters.keep_trace:
+            counters.switch_trace.append(SwitchRecord(
+                out_tw.tid if out_tw is not None else None,
+                in_tw.tid, saves, restores, cycles))
+        if self._tel_switch is not None:
+            self._tel_switch.append(cycles)
+        if self._tracing:
+            self.events.emit(
+                "switch", tid=in_tw.tid,
+                out_tid=out_tw.tid if out_tw is not None else None,
+                saves=saves, restores=restores, cycles=cycles)
 
     def _flush_all_inline(self, tw: ThreadWindows, fault_store) -> int:
         """Spill every resident window, outermost (bottom) first.
@@ -257,11 +314,23 @@ class NSScheme(Scheme):
         tids = self.map._tid
         frames = tw.store.frames
         counters = self.counters
+        regs = wf._regs
+        in_base = wf._in_base
+        pool = wf._frame_pool
         bottom = tw.bottom
         depth = tw.depth - tw.resident + 1
         flushed = 0
         while tw.resident > 0:
-            frame = wf.capture(bottom, depth)
+            # wf.capture, inlined (one per flushed window)
+            base = in_base[bottom]
+            mid = base + 8
+            if pool:
+                frame = pool.pop()
+                frame.ins[:] = regs[base:mid]
+                frame.local_regs[:] = regs[mid:mid + 8]
+                frame.depth = depth
+            else:
+                frame = Frame(regs[base:mid], regs[mid:mid + 8], depth)
             if fault_store is not None:
                 fault_store("spill", tw, frame, counters)
             if frames:

@@ -135,23 +135,41 @@ class SharingScheme(Scheme):
         tids = wmap._tid
         prw_boundary = self._prw_boundary
         relocatable = tw.prw if prw_boundary else self.reserved
-        limit = n - tw.resident - (0 if kinds[top] is FRAME else 1)
+        resident = tw.resident
+        # ``top`` is either the thread's resident stack-top (a FRAME,
+        # the context-switch path) or the window just above it that the
+        # trapped save is claiming (freed by the caller, the overflow
+        # path); either way the resident span plus ``top`` is one
+        # contiguous cyclic run ending at window cwp + resident - 1.
+        if kinds[top] is FRAME:
+            limit = n - resident
+            above_len = resident - 1   # valid windows above ``top``
+        else:
+            limit = n - resident - 1
+            above_len = resident
         headroom = self.grant_headroom + 1
         if limit > headroom:
             limit = headroom
-        run = []
+        count = 0
         w = above[top]
-        while len(run) < limit and (kinds[w] is FREE or w == relocatable):
-            run.append(w)
+        while count < limit and (kinds[w] is FREE or w == relocatable):
+            count += 1
             w = above[w]
         saves = 0
-        if not run:
+        if not count:
             saves = self._make_free(above[top])
             if saves > 1:
                 raise WindowGeometryError(
                     "boundary placement spilled %d windows" % saves)
-            run = [above[top]]
-        boundary = run[-1]
+            count = 1
+            # The eviction may have spilled ``tw``'s *own* bottom (the
+            # file held nothing but this thread); the valid span must
+            # reflect the post-spill resident count.
+            if kinds[top] is FRAME:
+                above_len = tw.resident - 1
+            else:
+                above_len = tw.resident
+        boundary = (top - count) % n
         if (relocatable is not None and relocatable != boundary
                 and kinds[relocatable] is RESERVED):
             kinds[relocatable] = FREE
@@ -163,19 +181,23 @@ class SharingScheme(Scheme):
         else:
             tids[boundary] = None
             self.reserved = boundary
-        # The resident run is cyclically contiguous from the top, so it
-        # slices straight out of the file's doubled ring table.
-        if tw.resident:
-            valid = wf._ring2[tw.cwp:tw.cwp + tw.resident]
-        else:
-            valid = []
-        valid.append(top)
-        run.pop()  # the boundary itself stays invalid; the rest granted
-        valid.extend(run)
+        # The whole valid set — granted run, ``top``, resident span —
+        # is the single cyclic span of count + above_len windows just
+        # above the boundary, so the WIM rebuild is (at most) two
+        # slice copies from the all-valid template.
         bitmap = wf._wim
         bitmap[:] = wf._all_invalid
-        for v in valid:
-            bitmap[v] = 0
+        valid_t = wf._all_valid
+        start = boundary + 1
+        if start == n:
+            start = 0
+        end = start + count + above_len
+        if end <= n:
+            bitmap[start:end] = valid_t[start:end]
+        else:
+            bitmap[start:] = valid_t[start:]
+            end -= n
+            bitmap[:end] = valid_t[:end]
         return saves
 
     def _relocatable_boundary(self, tw: ThreadWindows):
@@ -213,7 +235,8 @@ class SharingScheme(Scheme):
         mid = src + 8
         regs[src:mid] = frame.ins
         regs[mid:mid + 8] = frame.local_regs
-        wf.release_frame(frame)
+        if len(frame.ins) == 8 and len(frame.local_regs) == 8:
+            wf._frame_pool.append(frame)
         tw.depth -= 1
         # CWP, bottom, resident, WIM and occupancy all stay put: the
         # thread virtually moved one window down without physical motion.

@@ -17,6 +17,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.sharing import SharingScheme
+from repro.metrics.counters import SwitchRecord
+from repro.windows.errors import WindowGeometryError, WindowIntegrityError
+from repro.windows.occupancy import FRAME, FREE, RESERVED
 from repro.windows.thread_windows import ThreadWindows
 
 
@@ -55,6 +58,9 @@ class SNPScheme(SharingScheme):
                        flush_out: bool = False) -> None:
         wf = self.wf
         regs = wf._regs
+        wmap = self.map
+        kinds = wmap._kind
+        tids = wmap._tid
         saves = 0
         flushed = (self._flush_out_windows(out_tw, flush_out)
                    if flush_out else 0)
@@ -67,13 +73,92 @@ class SNPScheme(SharingScheme):
         else:
             top = (self.reserved if self._simple_alloc else
                    self.allocation.choose_top(self, out_tw, in_tw, need=2))
-            if top != self.reserved:
+            if top != self.reserved and kinds[top] is not FREE:
                 saves += self._make_free(top)
-            restores = self._install_single_frame(in_tw, top)
+            # _install_single_frame + _restore_top_frame, inlined (a
+            # per-quantum path: every windowless re-entry runs it)
+            base = wf._in_base[top]
+            mid = base + 8
+            restores = 0
+            if in_tw.started:
+                frames = in_tw.store.frames
+                if not frames:
+                    raise WindowGeometryError(
+                        "started thread %d is windowless with an empty "
+                        "backing store" % in_tw.tid)
+                frame = frames.pop()
+                fault_store = self.cpu._fault_store
+                if fault_store is not None:
+                    fault_store("restore", in_tw, frame, self.counters)
+                expected = in_tw.depth - in_tw.resident
+                if frame.depth >= 0 and frame.depth != expected:
+                    raise WindowIntegrityError(
+                        "thread %d restored frame of depth %d at depth %d"
+                        % (in_tw.tid, frame.depth, expected),
+                        thread=in_tw.tid, frame_depth=frame.depth,
+                        expected=expected)
+                regs[base:mid] = frame.ins
+                regs[mid:mid + 8] = frame.local_regs
+                if len(frame.ins) == 8 and len(frame.local_regs) == 8:
+                    wf._frame_pool.append(frame)
+                restores = 1
+            else:
+                regs[base:base + 16] = [0] * 16
+                in_tw.depth = 1
+            in_tw.cwp = top
+            in_tw.bottom = top
+            in_tw.resident = 1
+            kinds[top] = FRAME
+            tids[top] = in_tw.tid
         # Re-site the global reserved window above the incoming
         # thread's top, granting any free run on the way (the WIM must
         # be recomputed for the new thread regardless, §3).
-        saves += self._position_boundary(in_tw, in_tw.cwp)
+        # _position_boundary, inlined and specialized: ``top`` is the
+        # thread's stack-top on both paths above, so the FREE-top case
+        # (the overflow path) vanishes and ``above_len`` is
+        # ``resident - 1``.
+        top = in_tw.cwp
+        n = wf.n_windows
+        above = wf._above
+        resident = in_tw.resident
+        relocatable = self.reserved
+        limit = n - resident
+        headroom = self.grant_headroom + 1
+        if limit > headroom:
+            limit = headroom
+        count = 0
+        w = above[top]
+        while count < limit and (kinds[w] is FREE or w == relocatable):
+            count += 1
+            w = above[w]
+        if not count:
+            saves += self._make_free(above[top])
+            count = 1
+            # The eviction may have spilled ``in_tw``'s own bottom;
+            # the valid span must use the post-spill resident count.
+            resident = in_tw.resident
+        boundary = top - count
+        if boundary < 0:
+            boundary += n
+        if relocatable != boundary and kinds[relocatable] is RESERVED:
+            kinds[relocatable] = FREE
+            tids[relocatable] = None
+        kinds[boundary] = RESERVED
+        tids[boundary] = None
+        self.reserved = boundary
+        bitmap = wf._wim
+        bitmap[:] = wf._all_invalid
+        valid_t = wf._all_valid
+        start = boundary + 1
+        if start == n:
+            start = 0
+        end = start + count + resident - 1
+        if end <= n:
+            bitmap[start:end] = valid_t[start:end]
+        else:
+            bitmap[start:] = valid_t[start:]
+            end -= n
+            bitmap[:end] = valid_t[:end]
         saved = in_tw.saved_outs
         if saved is not None:
             ob = wf._out_base[in_tw.cwp]
@@ -93,8 +178,26 @@ class SNPScheme(SharingScheme):
             cycles = (self.cost.snp_switch_cost(saves, restores)
                       + self.cost.flush_cost(flushed))
             cache[key] = cycles
-        self._record_switch(out_tw, in_tw, saves + flushed, restores,
-                            cycles)
+        # _record_switch, inlined (one call per quantum)
+        saves += flushed
+        counters = self.counters
+        counters.context_switches += 1
+        counters.switch_transfer_hist[(saves, restores)] += 1
+        counters.windows_spilled += saves
+        counters.windows_restored += restores
+        counters.switch_cycles += cycles
+        in_tw.stat_switches += 1
+        if counters.keep_trace:
+            counters.switch_trace.append(SwitchRecord(
+                out_tw.tid if out_tw is not None else None,
+                in_tw.tid, saves, restores, cycles))
+        if self._tel_switch is not None:
+            self._tel_switch.append(cycles)
+        if self._tracing:
+            self.events.emit(
+                "switch", tid=in_tw.tid,
+                out_tid=out_tw.tid if out_tw is not None else None,
+                saves=saves, restores=restores, cycles=cycles)
 
     def min_windows(self) -> int:
         return 3

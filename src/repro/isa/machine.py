@@ -12,8 +12,13 @@ register data produced by real instructions.
 Opcode dispatch is a table of bound handlers precomputed at machine
 construction (the threaded-code technique of interpreter lore), not an
 if/elif ladder: the fetch loop does one dict lookup and one call per
-instruction.  Each handler returns True only when it ended the current
-thread's quantum (halt, or a yield that switched).
+instruction.  Each handler returns a falsy value to continue the batch,
+or a batch-exit reason code (:mod:`repro.runtime.batch`) when it ended
+the current thread's quantum: ``EXIT_DONE`` from ``halt``,
+``EXIT_YIELDED`` from a ``yield`` that switched.  The fetch loop itself
+reports ``EXIT_BUDGET`` when the caller's instruction budget runs dry
+mid-batch — the same exit protocol the runtime kernel's batched core
+uses, so the two interpreters can share tooling.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ from repro.isa.assembler import Program
 from repro.isa.instructions import ALU_OPS, Operand
 from repro.isa.registers import read_register, write_register
 from repro.metrics.counters import Counters
+from repro.runtime.batch import EXIT_BUDGET, EXIT_DONE, EXIT_YIELDED
 from repro.windows.cpu import WindowCPU
 from repro.windows.thread_windows import ThreadWindows
 
@@ -168,9 +174,16 @@ class Machine:
         while self.ready or self.current is not None:
             if self.current is None:
                 self._switch_to(self.ready.popleft())
-            steps += self._run_thread(max_steps - steps)
+            executed, reason = self._run_thread(max_steps - steps)
+            steps += executed
             if steps >= max_steps:
-                raise MachineFault("step budget of %d exhausted" % max_steps)
+                # Checked on every batch boundary, not only on
+                # EXIT_BUDGET, so a batch that halts or yields exactly
+                # on the budget line reports the same way.
+                raise MachineFault(
+                    "step budget of %d exhausted (last batch: %s)"
+                    % (max_steps,
+                       "budget" if reason is EXIT_BUDGET else "event"))
         self.counters.fold_thread_stats(t.windows for t in self.threads)
         return {t.name: t.exit_value for t in self.threads}
 
@@ -187,13 +200,20 @@ class Machine:
                 self.cpu.wf.write_in(i, arg)
         self.current = thread
 
-    def _run_thread(self, budget: int) -> int:
-        """Run the current thread until it yields or halts."""
+    def _run_thread(self, budget: int):
+        """Run the current thread's batch; returns ``(executed, reason)``.
+
+        ``reason`` is the batch-exit code: whatever the quantum-ending
+        handler returned (``EXIT_DONE``, ``EXIT_YIELDED``), or
+        ``EXIT_BUDGET`` when the fetch loop consumed the caller's whole
+        instruction budget without an exit event.
+        """
         thread = self.current
         assert thread is not None
         instrs = self.program.instructions
         n_instrs = len(instrs)
-        dispatch = self._dispatch
+        dispatch_get = self._dispatch.get
+        counters = self.counters
         prof = self._profiler
         # countdown hoisted into a local, residue persisted in the
         # finally (see CycleProfiler: it must survive short quanta)
@@ -212,14 +232,14 @@ class Machine:
                     prof_cd -= 1
                     if prof_cd <= 0:
                         prof_cd = prof.check_every
-                        prof.check_op(thread.name, instr.op,
-                                      self.counters)
-                handler = dispatch.get(instr.op)
+                        prof.check_op(thread.name, instr.op, counters)
+                handler = dispatch_get(instr.op)
                 if handler is None:  # pragma: no cover - assembler rejects
                     raise MachineFault("unknown op %r" % instr.op)
-                if handler(thread, instr):
-                    return executed
-            return executed
+                reason = handler(thread, instr)
+                if reason:
+                    return executed, reason
+            return executed, EXIT_BUDGET
         finally:
             if prof is not None:
                 prof._cd = prof_cd
@@ -322,20 +342,20 @@ class Machine:
         thread.pc += 1
         return False
 
-    def _op_halt(self, thread: HWThread, instr) -> bool:
+    def _op_halt(self, thread: HWThread, instr) -> int:
         thread.exit_value = self.cpu.wf.read_out(0)
         thread.done = True
         self.scheme.retire(thread.windows)
         self.current = None
-        return True
+        return EXIT_DONE
 
-    def _op_yield(self, thread: HWThread, instr) -> bool:
+    def _op_yield(self, thread: HWThread, instr):
         self.counters.compute_cycles += 1
         thread.pc += 1
         if self.ready:
             self.ready.append(thread)
             self._switch_to(self.ready.popleft())
-            return True
+            return EXIT_YIELDED
         return False
 
     def _do_restore(self, thread: HWThread, operands) -> None:

@@ -1,0 +1,71 @@
+"""Batch-exit reason codes and core selection for the execution cores.
+
+The kernel runs each quantum through one of two execution cores:
+
+* ``"batched"`` — the run-until-event core: the current thread executes
+  a straight-line batch of steps inside one Python frame
+  (:meth:`repro.runtime.kernel.Kernel._run_batched`, which fuses the
+  dispatch loop and the batch executor into one frame), leaving the
+  batch only on a *batch-exit event* — block, yield, completion — with
+  cycle accounting and per-thread statistics folded once per batch
+  instead of once per step;
+* ``"generator"`` — the reference step-granular trampoline
+  (:meth:`repro.runtime.kernel.Kernel._run_quantum`), kept for one
+  release behind this switch so the differential harness can A/B the
+  two cores, and still used by the batched core itself whenever a
+  configuration needs step granularity (fault injection, watchdog,
+  audit, tracing, step budgets).
+
+Both cores are required to be *bit-identical*: same counters, same
+per-thread statistics, same trace-event sequences, same step counts
+(``tests/core/test_batched_vs_trampoline.py`` enforces this).
+
+The exit codes below name why a batch ended.  They replace the implicit
+"one yielded op per step" protocol at quantum granularity: inside a
+batch the runtime ops are consumed inline, and only the batch boundary
+is reported.  The ISA machine (:mod:`repro.isa.machine`) shares the
+same codes for its fetch-loop batches.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: thread blocked on a stream or a join — it left the CPU and sits on
+#: the waiter list of whatever it blocked on
+EXIT_BLOCKED = 1
+#: thread executed ``YieldCPU`` with other runnable threads queued
+EXIT_YIELDED = 2
+#: thread's root procedure returned — the thread retired
+EXIT_DONE = 3
+#: the caller-imposed step/instruction budget expired mid-batch
+EXIT_BUDGET = 4
+
+EXIT_NAMES = {
+    EXIT_BLOCKED: "blocked",
+    EXIT_YIELDED: "yielded",
+    EXIT_DONE: "done",
+    EXIT_BUDGET: "budget",
+}
+
+#: the two execution cores (order: default first)
+CORES = ("batched", "generator")
+
+#: environment override consulted when no explicit ``core=`` is given —
+#: how CI A/Bs a whole run (benchmarks, sweeps) without plumbing
+ENV_CORE = "REPRO_CORE"
+
+
+def resolve_core(core=None) -> str:
+    """Validate a ``core=`` choice, applying the env-var default.
+
+    An explicit argument wins; otherwise ``$REPRO_CORE`` is consulted,
+    and the batched core is the default.
+    """
+    if core is None:
+        core = os.environ.get(ENV_CORE) or CORES[0]
+    if core not in CORES:
+        raise ValueError(
+            "unknown execution core %r; expected one of %s"
+            % (core, "/".join(CORES)))
+    return core

@@ -21,6 +21,13 @@ from repro.core.invariants import check_invariants
 from repro.core.scheme import Scheme
 from repro.errors import ReproError
 from repro.metrics.counters import Counters
+from repro.runtime.batch import (
+    EXIT_BLOCKED,
+    EXIT_BUDGET,
+    EXIT_DONE,
+    EXIT_YIELDED,
+    resolve_core,
+)
 from repro.runtime.errors import DeadlockError, LivelockError, RuntimeFault
 from repro.runtime.ops import (
     Call,
@@ -35,15 +42,21 @@ from repro.runtime.ops import (
     YieldCPU,
 )
 from repro.runtime.scheduler import ReadyQueue
-from repro.runtime.streams import Stream
+from repro.runtime.streams import Stream, StreamClosedError
 from repro.runtime.thread import (
     BLOCKED,
     DONE,
+    READY,
     RUNNING,
     SimThread,
 )
 from repro.windows.cpu import WindowCPU
-from repro.windows.errors import WindowError, WindowIntegrityError
+from repro.windows.errors import (
+    WindowError,
+    WindowGeometryError,
+    WindowIntegrityError,
+)
+from repro.windows.occupancy import FRAME, FREE
 
 
 @dataclass
@@ -80,7 +93,12 @@ class Kernel:
                  faults=None, audit: bool = False,
                  watchdog: Optional[int] = None,
                  crash_dir=None,
-                 crash_config: Optional[dict] = None):
+                 crash_config: Optional[dict] = None,
+                 core: Optional[str] = None):
+        #: execution core: "batched" (run-until-event, the default) or
+        #: "generator" (the step-granular reference trampoline); an
+        #: explicit argument wins over the $REPRO_CORE override
+        self.core = resolve_core(core)
         self.counters = counters if counters is not None else Counters()
         self.cpu = WindowCPU(n_windows, cost_model, self.counters)
         kwargs = dict(scheme_kwargs or {})
@@ -250,6 +268,16 @@ class Kernel:
             raise
 
     def _run_to_completion(self, max_steps: Optional[int]) -> RunResult:
+        # The batched core needs every step hook to be dead: a step
+        # budget, the watchdog, fault injection and the invariant audit
+        # all observe (or perturb) individual steps, so those
+        # configurations run the step-granular compat loop instead —
+        # which is also the whole of the "generator" core.  Tracing is
+        # re-checked per quantum because a subscriber may attach
+        # mid-run.
+        batchable = (self.core == "batched" and max_steps is None
+                     and self._watchdog is None and self.faults is None
+                     and not self.audit)
         while True:
             if self.current is None:
                 if not self.ready:
@@ -258,7 +286,13 @@ class Kernel:
                         raise self._deadlock_error(blocked)
                     break
                 self._dispatch(self.ready.pop())
-            self._run_quantum(max_steps)
+            if batchable and not self._tracing:
+                # Runs quanta back-to-back (dispatch included) until
+                # everything is done/blocked or tracing comes alive;
+                # the loop here re-checks deadlock and tracing.
+                self._run_batched()
+            else:
+                self._run_quantum(max_steps)
             if max_steps is not None and self._steps >= max_steps:
                 raise RuntimeFault("step budget of %d exceeded" % max_steps)
         if self._tracing:
@@ -359,8 +393,12 @@ class Kernel:
 
     # -- quantum execution ----------------------------------------------------------
 
-    def _run_quantum(self, max_steps: Optional[int]) -> None:
-        """Run the current thread until it blocks, yields or finishes."""
+    def _run_quantum(self, max_steps: Optional[int]) -> int:
+        """Step-granular quantum loop (the "generator" core, and the
+        batched core's compat path for configurations that need
+        per-step hooks: step budgets, watchdog, faults, audit,
+        tracing).  Runs the current thread until it blocks, yields or
+        finishes."""
         thread = self.current
         assert thread is not None
         tw = thread.windows
@@ -374,7 +412,7 @@ class Kernel:
             while True:
                 self._steps += 1
                 if max_steps is not None and self._steps >= max_steps:
-                    return
+                    return EXIT_BUDGET
                 if watchdog is not None and watchdog.expired(self._progress,
                                                              self._steps):
                     raise LivelockError(
@@ -389,14 +427,14 @@ class Kernel:
                 if thread.pending is not None:
                     if not self._continue_pending(thread):
                         self._block(thread)
-                        return
+                        return EXIT_BLOCKED
                     self._progress += 1
                 gen = gen_stack[-1]
                 try:
                     cmd = gen.send(thread.resume_value)
                 except StopIteration as stop:
                     if self._handle_return(thread, getattr(stop, "value", None)):
-                        return  # thread finished
+                        return EXIT_DONE  # thread finished
                     continue
                 thread.resume_value = None
                 t = type(cmd)
@@ -420,7 +458,7 @@ class Kernel:
                         self.ready.push_yielded(thread)
                         self.last_suspended = thread
                         self.current = None
-                        return
+                        return EXIT_YIELDED
                     # Nobody else to run: keep going, no switch, no cost.
                 elif t is FlushHint:
                     thread.flush_on_switch = cmd.flush
@@ -448,6 +486,577 @@ class Kernel:
                 prof._cd -= 1
                 if prof._cd <= 0:
                     prof._check(thread, None, counters)
+
+    def _run_batched(self) -> None:
+        """The run-until-event core: dispatch loop plus batch executor
+        fused into one frame.
+
+        Each thread's quantum executes as a straight-line batch of
+        steps, returning control only on a batch-exit event — block,
+        yield, completion (:mod:`repro.runtime.batch`) — after which
+        the next thread is dispatched without leaving this frame, so
+        the simulator-invariant locals (register file geometry, WIM,
+        occupancy arrays, op classes) hoist once per *run* instead of
+        once per step or quantum.
+
+        Bit-identical to the step-granular loop — the differential
+        suite enforces it — with the per-step machinery inlined: the
+        two window instructions (``WindowCPU.save``/``restore``),
+        stream completion, and the counter updates.  Run-global
+        counters (steps, progress, compute/call cycles, save/restore
+        totals) accumulate in frame locals and fold once in the outer
+        ``finally``; per-thread statistics fold at each quantum
+        boundary in the inner ``finally``.  Both folds run on
+        exceptional exits too, so a window trap escaping mid-batch
+        leaves step and cycle counts exactly where the reference core
+        would (crash-context identity).  Trap handlers and context
+        switches run through the scheme exactly as in the reference
+        core; they touch only trap/switch counters, never the
+        batch-local ones, so folding late is safe.
+
+        Only entered when every step-granular hook is dead (no step
+        budget, watchdog, faults, audit or tracing — see
+        ``_run_to_completion``); the profiler and telemetry buffers
+        are quantum-granular and folded per batch.
+        """
+        cpu = self.cpu
+        wf = cpu.wf
+        regs = wf._regs
+        wim = wf._wim
+        above = wf._above
+        below = wf._below
+        in_base = wf._in_base
+        out_base = wf._out_base
+        wmap = cpu.map
+        kinds = wmap._kind
+        tids = wmap._tid
+        scheme = self.scheme
+        ready = self.ready
+        counters = cpu.counters
+        verify = self.verify_registers
+        save_cost = cpu._save_instr_cost
+        restore_cost = cpu._restore_instr_cost
+        prof = self._profiler
+        handle_overflow = scheme.handle_overflow
+        handle_underflow = scheme.handle_underflow
+        context_switch = scheme.context_switch
+        block = self._block
+        wake_readers = self._wake_readers
+        wake_writers = self._wake_writers
+        do_close = self._do_close
+        queue = ready._queue
+        popleft = queue.popleft
+        queue_append = queue.append
+        # Plain FIFO with no fault injector attached: a wake is exactly
+        # "state = READY, append to the deque" (the push_woken fast
+        # path); neither condition can change during a run.  Tracing
+        # can, so the wake sites re-check it and fall back.
+        fifo_wake = ready._fifo and ready.faults is None
+        READY_, BLOCKED_ = READY, BLOCKED
+        # op classes as frame locals (one global load each, not per step)
+        Tick_, Call_, Read_, Write_ = Tick, Call, Read, Write
+        ReadLine_, CloseStream_, YieldCPU_ = ReadLine, CloseStream, YieldCPU
+        FlushHint_, Spawn_, Join_ = FlushHint, Spawn, Join
+        # -- run-global accumulators, folded once in the outer finally --
+        steps = 0                  # -> self._steps
+        progress = 0               # -> self._progress
+        compute = 0                # -> counters.compute_cycles
+        call_cycles = 0            # -> counters.call_cycles
+        saves_total = 0            # -> counters.saves
+        restores_total = 0         # -> counters.restores
+        try:
+            while True:            # one iteration per quantum
+                thread = self.current
+                tw = thread.windows
+                gen_stack = thread.gen_stack
+                # -- per-quantum accumulators (per-thread statistics) --
+                n_saves = 0        # -> tw.stat_saves (== thread.calls)
+                n_restores = 0     # -> tw.stat_restores (== thread.returns)
+                resume = thread.resume_value
+                steps += 1         # the entry iteration (compat parity)
+                try:
+                    # Entry with an in-flight op (_continue_pending,
+                    # inlined): completion shares the step with the
+                    # send that follows, as in the compat loop's
+                    # pending-resume iteration; a still-blocked op
+                    # re-blocks without entering the batch (falling
+                    # through to the dispatch below).
+                    pending = thread.pending
+                    if pending is None:
+                        gen = gen_stack[-1]
+                    else:
+                        gen = None
+                        kind = pending[0]
+                        stream = pending[1]
+                        if kind == "write":
+                            data, offset = pending[2], pending[3]
+                            # -- Stream.push, inlined (and without the
+                            # tail-slice allocation push would need) --
+                            if stream.closed:
+                                raise StreamClosedError(
+                                    "write to closed stream %r"
+                                    % (stream.name,))
+                            sdata = stream._data
+                            pushed = stream.capacity - len(sdata)
+                            want = len(data) - offset
+                            if pushed:
+                                if pushed >= want:
+                                    pushed = want
+                                    sdata.extend(data[offset:])
+                                else:
+                                    sdata.extend(
+                                        data[offset:offset + pushed])
+                                stream.bytes_written += pushed
+                                offset += pushed
+                                if stream.read_waiters:
+                                    if fifo_wake and not self._tracing:
+                                        for waiter in stream.read_waiters:
+                                            waiter.blocked_on = None
+                                            waiter.state = READY_
+                                            queue_append(waiter)
+                                        del stream.read_waiters[:]
+                                    else:
+                                        wake_readers(stream)
+                            if offset >= len(data):
+                                thread.pending = None
+                                resume = None
+                                progress += 1
+                                gen = gen_stack[-1]
+                            else:
+                                thread.pending = ("write", stream, data,
+                                                  offset)
+                        elif kind == "read":
+                            sdata = stream._data
+                            if sdata or stream.closed:
+                                # -- Stream.pull, inlined --
+                                take = pending[2]
+                                avail = len(sdata)
+                                if take >= avail:
+                                    take = avail
+                                    data = bytes(sdata)
+                                    del sdata[:]
+                                else:
+                                    data = bytes(sdata[:take])
+                                    del sdata[:take]
+                                if take:
+                                    stream.bytes_read += take
+                                if take and stream.write_waiters:
+                                    if fifo_wake and not self._tracing:
+                                        for waiter in stream.write_waiters:
+                                            waiter.blocked_on = None
+                                            waiter.state = READY_
+                                            queue_append(waiter)
+                                        del stream.write_waiters[:]
+                                    else:
+                                        wake_writers(stream)
+                                thread.pending = None
+                                resume = data
+                                progress += 1
+                                gen = gen_stack[-1]
+                        elif kind == "readline":
+                            # -- has_line/at_eof/pull_line, inlined --
+                            sdata = stream._data
+                            idx = sdata.find(b"\n")
+                            if idx >= 0:
+                                idx += 1
+                                line = bytes(sdata[:idx])
+                                del sdata[:idx]
+                                stream.bytes_read += idx
+                            elif stream.closed:
+                                line = bytes(sdata)
+                                if line:
+                                    del sdata[:]
+                                    stream.bytes_read += len(line)
+                            elif len(sdata) >= stream.capacity:
+                                raise RuntimeFault(
+                                    "readline on %r: line longer than "
+                                    "the stream capacity" % stream.name)
+                            else:
+                                line = None
+                            if line is not None:
+                                if line and stream.write_waiters:
+                                    if fifo_wake and not self._tracing:
+                                        for waiter in stream.write_waiters:
+                                            waiter.blocked_on = None
+                                            waiter.state = READY_
+                                            queue_append(waiter)
+                                        del stream.write_waiters[:]
+                                    else:
+                                        wake_writers(stream)
+                                thread.pending = None
+                                resume = line
+                                progress += 1
+                                gen = gen_stack[-1]
+                        elif kind == "join":
+                            if stream.state == DONE:
+                                thread.pending = None
+                                resume = stream.result
+                                progress += 1
+                                gen = gen_stack[-1]
+                        else:
+                            raise RuntimeFault(
+                                "unknown pending op %r" % kind)
+                        if gen is None:
+                            block(thread)
+                    while gen is not None:
+                        try:
+                            cmd = gen.send(resume)
+                        except StopIteration as stop:
+                            value = stop.value
+                            gen_stack.pop()
+                            progress += 1
+                            if not gen_stack:
+                                if verify and tw.depth != 1:
+                                    raise WindowIntegrityError(
+                                        "thread %s finished at call "
+                                        "depth %d"
+                                        % (thread.name, tw.depth))
+                                thread.result = value
+                                thread.state = DONE
+                                scheme.retire(tw)
+                                self.current = None
+                                for waiter in thread.join_waiters:
+                                    waiter.blocked_on = None
+                                    ready.push_woken(waiter)
+                                del thread.join_waiters[:]
+                                break  # EXIT_DONE
+                            n_restores += 1
+                            cwp = wf.cwp
+                            if verify:
+                                sig = regs[in_base[cwp] + 8]
+                                if sig != ("sig", thread.tid, tw.depth):
+                                    raise WindowIntegrityError(
+                                        "thread %s frame signature "
+                                        "corrupted: %r at depth %d"
+                                        % (thread.name, sig, tw.depth),
+                                        thread=thread.name,
+                                        depth=tw.depth)
+                            # The return value travels through the
+                            # in/out overlap across the restore
+                            # (written before, read after).
+                            regs[in_base[cwp]] = value
+                            # -- WindowCPU.restore, inlined --
+                            if tw.depth <= 1:
+                                raise WindowGeometryError(
+                                    "thread %d executed restore at "
+                                    "depth %d" % (tw.tid, tw.depth))
+                            call_cycles += restore_cost
+                            target = below[cwp]
+                            if wim[target]:
+                                # Underflow: the in-place restore
+                                # (§3.2); the CWP does not move.
+                                handle_underflow(tw)
+                            else:
+                                kinds[cwp] = FREE
+                                tids[cwp] = None
+                                wf.cwp = target
+                                tw.cwp = target
+                                tw.resident -= 1
+                                tw.depth -= 1
+                            got = regs[out_base[wf.cwp]]
+                            if verify and got is not value \
+                                    and got != value:
+                                raise WindowIntegrityError(
+                                    "return value of %s corrupted "
+                                    "across restore: %r != %r"
+                                    % (thread.name, got, value),
+                                    thread=thread.name, depth=tw.depth)
+                            resume = got
+                            gen = gen_stack[-1]
+                            steps += 1
+                            continue
+                        resume = None
+                        t = type(cmd)
+                        if t is Tick_:
+                            compute += cmd.cycles
+                            progress += 1
+                        elif t is Call_:
+                            progress += 1
+                            args = cmd.args
+                            cwp = wf.cwp
+                            if verify:
+                                ob = out_base[cwp]
+                                for i, a in enumerate(args[:8]):
+                                    regs[ob + i] = a
+                            # -- WindowCPU.save, inlined --
+                            n_saves += 1
+                            call_cycles += save_cost
+                            target = above[cwp]
+                            if wim[target]:
+                                handle_overflow(tw)
+                                target = above[wf.cwp]
+                                if wim[target]:
+                                    raise WindowGeometryError(
+                                        "overflow handler left target "
+                                        "window %d invalid" % target,
+                                        window=target, thread=tw.tid)
+                            wf.cwp = target
+                            tw.cwp = target
+                            tw.resident += 1
+                            tw.depth += 1
+                            kinds[target] = FRAME
+                            tids[target] = tw.tid
+                            if verify:
+                                ib = in_base[target]
+                                for i, a in enumerate(args[:8]):
+                                    got = regs[ib + i]
+                                    if got is not a and got != a:
+                                        raise WindowIntegrityError(
+                                            "argument %d of %s "
+                                            "corrupted across save: "
+                                            "%r != %r"
+                                            % (i, thread.name, got, a),
+                                            thread=thread.name,
+                                            argument=i, depth=tw.depth)
+                                regs[ib + 8] = ("sig", thread.tid,
+                                                tw.depth)
+                            gen = cmd.factory(*args)
+                            gen_stack.append(gen)
+                        elif t is Read_:
+                            stream = cmd.stream
+                            steps += 1  # the attempt iteration
+                            sdata = stream._data
+                            if sdata or stream.closed:
+                                # -- Stream.pull, inlined --
+                                take = cmd.max_bytes
+                                avail = len(sdata)
+                                if take >= avail:
+                                    take = avail
+                                    data = bytes(sdata)
+                                    del sdata[:]
+                                else:
+                                    data = bytes(sdata[:take])
+                                    del sdata[:take]
+                                if take:
+                                    stream.bytes_read += take
+                                    if stream.write_waiters:
+                                        if fifo_wake \
+                                                and not self._tracing:
+                                            for waiter in \
+                                                    stream.write_waiters:
+                                                waiter.blocked_on = None
+                                                waiter.state = READY_
+                                                queue_append(waiter)
+                                            del stream.write_waiters[:]
+                                        else:
+                                            wake_writers(stream)
+                                progress += 1
+                                resume = data
+                                # completion shares the next send's step
+                                continue
+                            # -- _block, inlined --
+                            thread.pending = ("read", stream,
+                                              cmd.max_bytes)
+                            stream.read_waiters.append(thread)
+                            thread.blocked_on = stream.read_label
+                            thread.state = BLOCKED_
+                            thread.blocks += 1
+                            self.last_suspended = thread
+                            self.current = None
+                            if self._tracing:
+                                self.events.emit(
+                                    "block", tid=thread.tid,
+                                    on=stream.name or "stream", op="read")
+                            break  # EXIT_BLOCKED
+                        elif t is Write_:
+                            stream = cmd.stream
+                            data = cmd.data
+                            steps += 1
+                            # -- Stream.push, inlined --
+                            if stream.closed:
+                                raise StreamClosedError(
+                                    "write to closed stream %r"
+                                    % (stream.name,))
+                            sdata = stream._data
+                            pushed = stream.capacity - len(sdata)
+                            want = len(data)
+                            if pushed >= want:
+                                pushed = want
+                                sdata.extend(data)
+                            elif pushed:
+                                sdata.extend(data[:pushed])
+                            if pushed:
+                                stream.bytes_written += pushed
+                                if stream.read_waiters:
+                                    if fifo_wake and not self._tracing:
+                                        for waiter in \
+                                                stream.read_waiters:
+                                            waiter.blocked_on = None
+                                            waiter.state = READY_
+                                            queue_append(waiter)
+                                        del stream.read_waiters[:]
+                                    else:
+                                        wake_readers(stream)
+                            if pushed >= want:
+                                progress += 1
+                                continue
+                            # -- _block, inlined --
+                            thread.pending = ("write", stream, data,
+                                              pushed)
+                            stream.write_waiters.append(thread)
+                            thread.blocked_on = stream.write_label
+                            thread.state = BLOCKED_
+                            thread.blocks += 1
+                            self.last_suspended = thread
+                            self.current = None
+                            if self._tracing:
+                                self.events.emit(
+                                    "block", tid=thread.tid,
+                                    on=stream.name or "stream",
+                                    op="write")
+                            break  # EXIT_BLOCKED
+                        elif t is ReadLine_:
+                            stream = cmd.stream
+                            steps += 1
+                            # -- has_line/at_eof/pull_line, inlined --
+                            sdata = stream._data
+                            idx = sdata.find(b"\n")
+                            if idx >= 0:
+                                idx += 1
+                                line = bytes(sdata[:idx])
+                                del sdata[:idx]
+                                stream.bytes_read += idx
+                            elif stream.closed:
+                                line = bytes(sdata)
+                                if line:
+                                    del sdata[:]
+                                    stream.bytes_read += len(line)
+                            else:
+                                if len(sdata) >= stream.capacity:
+                                    raise RuntimeFault(
+                                        "readline on %r: line longer "
+                                        "than the stream capacity"
+                                        % stream.name)
+                                # -- _block, inlined --
+                                thread.pending = ("readline", stream)
+                                stream.read_waiters.append(thread)
+                                thread.blocked_on = stream.read_label
+                                thread.state = BLOCKED_
+                                thread.blocks += 1
+                                self.last_suspended = thread
+                                self.current = None
+                                if self._tracing:
+                                    self.events.emit(
+                                        "block", tid=thread.tid,
+                                        on=stream.name or "stream",
+                                        op="read")
+                                break  # EXIT_BLOCKED
+                            if line and stream.write_waiters:
+                                if fifo_wake and not self._tracing:
+                                    for waiter in stream.write_waiters:
+                                        waiter.blocked_on = None
+                                        waiter.state = READY_
+                                        queue_append(waiter)
+                                    del stream.write_waiters[:]
+                                else:
+                                    wake_writers(stream)
+                            progress += 1
+                            resume = line
+                            continue
+                        elif t is CloseStream_:
+                            do_close(cmd.stream)
+                        elif t is YieldCPU_:
+                            if ready:
+                                ready.push_yielded(thread)
+                                self.last_suspended = thread
+                                self.current = None
+                                break  # EXIT_YIELDED
+                            # Nobody else runnable: keep going, no
+                            # switch, no cost.
+                        elif t is FlushHint_:
+                            thread.flush_on_switch = cmd.flush
+                        elif t is Spawn_:
+                            resume = self._spawn(cmd.factory, cmd.args,
+                                                 cmd.name)
+                            progress += 1
+                        elif t is Join_:
+                            target_t = cmd.thread
+                            if target_t is thread:
+                                raise RuntimeFault(
+                                    "%s tried to join itself"
+                                    % thread.name)
+                            steps += 1
+                            if target_t.state == DONE:
+                                progress += 1
+                                resume = target_t.result
+                                continue
+                            # -- _block, inlined --
+                            thread.pending = ("join", target_t)
+                            target_t.join_waiters.append(thread)
+                            thread.blocked_on = "join %s" % target_t.name
+                            thread.state = BLOCKED_
+                            thread.blocks += 1
+                            self.last_suspended = thread
+                            self.current = None
+                            if self._tracing:
+                                self.events.emit(
+                                    "block", tid=thread.tid,
+                                    on=target_t.name, op="join")
+                            break  # EXIT_BLOCKED
+                        else:
+                            raise RuntimeFault(
+                                "thread %s yielded %r; expected a "
+                                "runtime op" % (thread.name, cmd))
+                        steps += 1
+                finally:
+                    # Quantum boundary: fold the per-thread statistics
+                    # (the run-global accumulators keep accumulating).
+                    thread.resume_value = resume
+                    if n_saves:
+                        saves_total += n_saves
+                        tw.stat_saves += n_saves
+                        thread.calls += n_saves
+                    if n_restores:
+                        restores_total += n_restores
+                        tw.stat_restores += n_restores
+                        thread.returns += n_restores
+                    if prof is not None:
+                        # The profiler reads counters.total_cycles, so
+                        # the cycle accumulators fold early here.
+                        if compute:
+                            counters.compute_cycles += compute
+                            compute = 0
+                        if call_cycles:
+                            counters.call_cycles += call_cycles
+                            call_cycles = 0
+                        prof._cd -= 1
+                        if prof._cd <= 0:
+                            prof._check(thread, None, counters)
+                # Dispatch the next thread without leaving the frame.
+                if self._tracing:
+                    return  # a subscriber attached mid-run: compat loop
+                if not queue:
+                    return  # all done, or deadlock (outer loop decides)
+                # _dispatch, inlined minus the trace emit (tracing was
+                # just checked, and it can only flip inside a quantum)
+                if ready.sample_slackness:
+                    ready.slackness_samples.append(len(queue) - 1)
+                nxt = popleft()
+                out = self.last_suspended
+                assert out is not nxt, "self-switch should be impossible"
+                if out is not None:
+                    context_switch(out.windows, nxt.windows,
+                                   flush_out=out.flush_on_switch)
+                else:
+                    context_switch(None, nxt.windows, flush_out=False)
+                self.last_suspended = None
+                self.current = nxt
+                nxt.state = RUNNING
+                if not nxt.gen_stack:
+                    nxt.start_root()
+                    if verify:
+                        cpu.write_local(0, ("sig", nxt.tid, 1))
+        finally:
+            self._steps += steps
+            self._progress += progress
+            if compute:
+                counters.compute_cycles += compute
+            if call_cycles:
+                counters.call_cycles += call_cycles
+            if saves_total:
+                counters.saves += saves_total
+            if restores_total:
+                counters.restores += restores_total
 
     # -- call / return ----------------------------------------------------------
 

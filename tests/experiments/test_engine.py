@@ -34,12 +34,13 @@ def fake_report(spec: PointSpec) -> dict:
 
 def fake_runner(task):
     index, payload = task
-    return index, fake_report(PointSpec.from_payload(payload)), None
+    return index, fake_report(PointSpec.from_payload(payload)), None, 1.0
 
 
 def failing_runner(task):
     index, __ = task
-    return index, None, "Traceback ...\nRuntimeError: point exploded\n"
+    return (index, None,
+            "Traceback ...\nRuntimeError: point exploded\n", 1.0)
 
 
 class TestCacheKey:
@@ -234,7 +235,7 @@ class TestFailurePolicy:
         index, __ = task
         return index, None, {
             "type": "WindowIntegrityError", "transient": False,
-            "traceback": "Traceback ...\nWindowIntegrityError: boom\n"}
+            "traceback": "Traceback ...\nWindowIntegrityError: boom\n"}, 1.0
 
     def test_fatal_failure_is_never_retried(self):
         calls = []

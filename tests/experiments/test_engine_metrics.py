@@ -3,6 +3,8 @@ stats line, and the legacy-runner compatibility shim."""
 
 import json
 
+import pytest
+
 from repro.experiments.engine import (
     Engine,
     EngineStats,
@@ -41,8 +43,17 @@ class TestUnpack:
     def test_four_tuple_passthrough(self):
         assert _unpack((3, {"r": 1}, None, 7.5)) == (3, {"r": 1}, None, 7.5)
 
-    def test_legacy_three_tuple_counts_zero_wall(self):
-        assert _unpack((3, {"r": 1}, None)) == (3, {"r": 1}, None, 0.0)
+    def test_legacy_three_tuple_round_trips_with_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="3-tuple"):
+            assert _unpack((3, {"r": 1}, None)) == (3, {"r": 1}, None, 0.0)
+
+    def test_unexpected_shapes_rejected_not_sliced(self):
+        # A runner protocol drift (say, a report plus a detached
+        # metrics member) must fail loudly, never lose the member.
+        with pytest.raises(TypeError, match="5-tuple"):
+            _unpack((3, {"r": 1}, None, 7.5, {"metrics": {}}))
+        with pytest.raises(TypeError, match="2-tuple"):
+            _unpack((3, {"r": 1}))
 
 
 class TestStatsLine:

@@ -1,0 +1,20 @@
+"""Run the whole chaos suite under both execution cores.
+
+Fault injection, the watchdog and the invariant audit force the kernel
+onto the step-granular loop even under ``core="batched"`` (they need
+per-step hooks), but the *decision* to fall back — and the surrounding
+batch boundaries in unfaulted reference runs — differ between the two
+cores.  Parameterizing via ``$REPRO_CORE`` (the same override CI uses)
+exercises every fault class, the watchdog and crash-bundle replay
+against both, without touching the individual tests.
+"""
+
+import pytest
+
+from repro.runtime.batch import CORES, ENV_CORE
+
+
+@pytest.fixture(autouse=True, params=CORES)
+def execution_core(request, monkeypatch):
+    monkeypatch.setenv(ENV_CORE, request.param)
+    return request.param
