@@ -8,7 +8,10 @@ These isolate single effects for the ablation benchmarks and tests:
   the §4.2 pathology case for the SNP simple allocation policy;
 * :func:`spawn_fork_join` — a parent feeding work to children and
   collecting results, long sleeps included (for the §4.4 flush-type
-  switch ablation).
+  switch ablation);
+* :func:`spawn_yield_storm` — threads spinning through ``YieldCPU``
+  without moving data: the livelock pattern the kernel watchdog
+  exists to detect.
 """
 
 from __future__ import annotations
@@ -16,7 +19,15 @@ from __future__ import annotations
 from typing import List
 
 from repro.runtime.kernel import Kernel
-from repro.runtime.ops import Call, CloseStream, FlushHint, Read, Tick, Write
+from repro.runtime.ops import (
+    Call,
+    CloseStream,
+    FlushHint,
+    Read,
+    Tick,
+    Write,
+    YieldCPU,
+)
 from repro.runtime.thread import SimThread
 
 
@@ -167,3 +178,25 @@ def spawn_fork_join(kernel: Kernel, n_children: int, items: int,
 
 def expected_fork_join_total(items: int) -> int:
     return sum((i % 251) * 2 % 251 for i in range(items))
+
+
+def _spinner(spins: int):
+    """One initial tick of real progress, then a pure yield storm."""
+    yield Tick(1)
+    for __ in range(spins):
+        yield YieldCPU()
+    return spins
+
+
+def spawn_yield_storm(kernel: Kernel, n_spinners: int,
+                      spins: int) -> List[SimThread]:
+    """Threads that bounce through the ready queue moving no data.
+
+    After the initial ticks the progress clock stops while the step
+    clock keeps running, so a kernel watchdog with
+    ``max_stall < n_spinners * spins`` deterministically raises
+    :class:`~repro.runtime.errors.LivelockError`; without a watchdog
+    (or with a generous one) the storm drains and the run completes.
+    """
+    return [kernel.spawn(_spinner, spins, name="spin%d" % i)
+            for i in range(n_spinners)]

@@ -1,13 +1,14 @@
 """Crash bundles: versioned JSON dumps of everything needed to diagnose
 and *exactly replay* a failed run.
 
-Schema (``repro.crash-bundle`` version 1)::
+Schema (``repro.crash-bundle`` version 2)::
 
     {
       "schema": "repro.crash-bundle",
-      "version": 1,
+      "version": 2,
       "error":     {"type", "message", "context"},
-      "config":    {...the kernel's crash_config: workload + knobs...},
+      "config":    {...the kernel's crash_config: workload + knobs,
+                    incl. the execution "core" the crash ran under...},
       "fault_plan": FaultPlan payload | null,
       "machine":   {"scheme", "n_windows", "cwp", "wim", "occupancy",
                     "windows": [{"ins", "locals"}, ...]},
@@ -17,8 +18,17 @@ Schema (``repro.crash-bundle`` version 1)::
                                  "prw", "stored"}}],
       "counters":  Counters.snapshot() (string keys),
       "steps":     kernel steps at the crash,
-      "events":    last-N trace events from the flight recorder | []
+      "events":    last-N trace events from the flight recorder | [],
+      "minimization": delta-debugging provenance | absent
+                      (see repro.faults.minimize; not part of the
+                      replay-identity of the bundle)
     }
+
+Version 2 records the execution core (``config["core"]``) the crash
+was captured under; replay reruns under that exact core, so a
+step-granular fault run can never silently diverge onto a different
+core (e.g. after the generator core retires).  Version 1 bundles
+(no recorded core) still load and replay under the ambient default.
 
 Bundles contain no timestamps or host state, so a deterministic
 workload + the embedded seed/plan reproduce the identical bundle
@@ -39,7 +49,20 @@ from repro.faults.plan import FaultPlan
 from repro.ioutil import atomic_write_text
 
 BUNDLE_SCHEMA = "repro.crash-bundle"
-BUNDLE_VERSION = 1
+BUNDLE_VERSION = 2
+
+#: bundle sections that are provenance/metadata, not failure identity:
+#: stripped before the bit-for-bit replay comparison
+PROVENANCE_KEYS = ("minimization",)
+
+
+class BundleError(ReproError, ValueError):
+    """A crash-bundle file is missing, unreadable or malformed.
+
+    Derives from :class:`ReproError` (structured context, uniform CLI
+    rendering) *and* ``ValueError`` so callers of the original
+    ``load_bundle`` contract keep working.
+    """
 
 
 def _jsonable(value: Any) -> Any:
@@ -114,13 +137,17 @@ def build_crash_bundle(error: BaseException, kernel,
     events = ([_jsonable(e.to_dict()) for e in flight.tail()]
               if flight is not None else [])
 
+    # v2: the execution core is part of the replay identity — a crash
+    # captured on the step-granular path must rerun there.
+    config_doc = dict(config if config is not None
+                      else kernel.crash_config)
+    config_doc.setdefault("core", kernel.core)
+
     return {
         "schema": BUNDLE_SCHEMA,
         "version": BUNDLE_VERSION,
         "error": error_doc,
-        "config": _jsonable(dict(config
-                                 if config is not None
-                                 else kernel.crash_config)),
+        "config": _jsonable(config_doc),
         "fault_plan": plan,
         "machine": machine,
         "threads": threads,
@@ -151,69 +178,73 @@ def write_crash_bundle(directory, error: BaseException, kernel,
 
 
 def load_bundle(path) -> Dict[str, Any]:
-    """Read and validate a crash bundle."""
-    bundle = json.loads(Path(path).read_text())
-    if bundle.get("schema") != BUNDLE_SCHEMA:
-        raise ValueError("not a %s document: schema=%r"
-                         % (BUNDLE_SCHEMA, bundle.get("schema")))
+    """Read and validate a crash bundle.
+
+    Raises :class:`BundleError` (a ``ReproError`` *and* a
+    ``ValueError``) on a missing/unreadable path, invalid JSON, a
+    foreign schema, a future version, or a missing section — never a
+    raw ``FileNotFoundError``/``JSONDecodeError`` traceback.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise BundleError("cannot read crash bundle: %s" % exc,
+                          path=str(path)) from exc
+    try:
+        bundle = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BundleError("crash bundle is not valid JSON: %s" % exc,
+                          path=str(path)) from exc
+    if not isinstance(bundle, dict) \
+            or bundle.get("schema") != BUNDLE_SCHEMA:
+        raise BundleError("not a %s document: schema=%r"
+                          % (BUNDLE_SCHEMA,
+                             bundle.get("schema")
+                             if isinstance(bundle, dict) else None),
+                          path=str(path))
     version = bundle.get("version")
     if not isinstance(version, int) or version > BUNDLE_VERSION:
-        raise ValueError("unsupported crash-bundle version: %r"
-                         % (version,))
+        raise BundleError("unsupported crash-bundle version: %r"
+                          % (version,), path=str(path))
     for section in ("error", "config", "machine", "threads"):
         if section not in bundle:
-            raise ValueError("crash bundle missing %r section" % section)
+            raise BundleError("crash bundle missing %r section"
+                              % section, path=str(path))
     return bundle
+
+
+def strip_provenance(bundle: Dict[str, Any]) -> Dict[str, Any]:
+    """The replay-identity core of a bundle: provenance sections (the
+    minimization log) describe how the file was *produced*, not what
+    the failure *is*, so a fresh crash of the same run omits them."""
+    return {k: v for k, v in bundle.items()
+            if k not in PROVENANCE_KEYS}
 
 
 # ---------------------------------------------------------------------------
 # replay
 
 
-def _spell_config_from(config: Dict[str, Any]):
-    """Rebuild the workload config a bundle's run used."""
-    from repro.apps.spellcheck.pipeline import SpellConfig
-
-    scale = float(config.get("scale", 1.0))
-    seed = int(config.get("seed", 1993))
-    if "m" in config and "n" in config:
-        return SpellConfig(m=int(config["m"]), n=int(config["n"]),
-                           scale=scale, seed=seed)
-    return SpellConfig.named(config.get("concurrency", "high"),
-                             config.get("granularity", "coarse"),
-                             scale=scale, seed=seed)
-
-
 def rerun_bundle_workload(config: Dict[str, Any],
                           plan: Optional[FaultPlan],
                           crash_dir) -> None:
-    """Re-execute the spellcheck workload a bundle describes, with the
-    same plan and kernel knobs; any crash lands a bundle in
+    """Re-execute the workload a bundle describes — same config, same
+    plan, same execution core; any crash lands a bundle in
     ``crash_dir``.  Raises whatever the run raises."""
-    from repro.apps.spellcheck.pipeline import run_spellchecker
     from repro.faults.inject import FaultInjector
+    from repro.faults.workloads import run_workload
 
-    workload = config.get("workload", "spellcheck")
-    if workload != "spellcheck":
-        raise ValueError("can only replay spellcheck bundles, got %r"
-                         % (workload,))
     injector = FaultInjector(plan) if plan else None
-    run_spellchecker(
-        int(config["n_windows"]), config["scheme"],
-        _spell_config_from(config),
-        verify_registers=bool(config.get("verify_registers", True)),
-        faults=injector,
-        audit=bool(config.get("audit", False)),
-        watchdog=int(config.get("watchdog", 0)) or None,
-        crash_dir=crash_dir,
-        crash_config=config)
+    run_workload(config, faults=injector, crash_dir=crash_dir)
 
 
 def replay_bundle(path, workdir=None) -> Tuple[bool, Optional[Path], str]:
     """Replay a bundle; returns ``(matched, new_path, detail)``.
 
     ``matched`` is True when the rerun crashed and produced a
-    bit-for-bit identical bundle (same content digest, same file name).
+    bit-for-bit identical bundle (same content digest, same file
+    name), comparing against the bundle minus its provenance sections.
     ``workdir`` is where the replay bundle is written (default: the
     original bundle's directory).
     """
@@ -222,15 +253,20 @@ def replay_bundle(path, workdir=None) -> Tuple[bool, Optional[Path], str]:
     plan = (FaultPlan.from_payload(bundle["fault_plan"])
             if bundle.get("fault_plan") else None)
     crash_dir = Path(workdir) if workdir is not None else path.parent
+    from repro.faults.workloads import WorkloadError
     try:
         rerun_bundle_workload(bundle["config"], plan, crash_dir)
+    except WorkloadError:
+        # an unknown workload is a problem with the *bundle*, not a
+        # reproduced crash — surface it, don't report "did not match"
+        raise
     except ReproError as exc:
         new_path = getattr(exc, "bundle_path", None)
         if new_path is None:
             return False, None, ("rerun crashed (%s) but wrote no bundle"
                                  % type(exc).__name__)
         new_path = Path(new_path)
-        if new_path.read_text() == bundle_to_json(bundle):
+        if new_path.read_text() == bundle_to_json(strip_provenance(bundle)):
             return True, new_path, ("reproduced bit-for-bit: %s"
                                     % new_path.name)
         return False, new_path, (

@@ -149,6 +149,46 @@ class TestValidation:
             load_bundle(bad)
 
 
+class TestCoreRecording:
+    """v2 bundles capture the execution core and replay under it."""
+
+    def test_bundle_records_execution_core(self, tmp_path,
+                                           execution_core):
+        exc = crash(tmp_path)
+        bundle = load_bundle(exc.bundle_path)
+        assert bundle["config"]["core"] == execution_core
+
+    def test_replay_sticks_to_recorded_core(self, tmp_path,
+                                            execution_core,
+                                            monkeypatch):
+        """A bundle captured under one core must replay under that
+        core even when the ambient ``$REPRO_CORE`` says otherwise —
+        the recorded core is part of the replay identity."""
+        from repro.runtime.batch import CORES, ENV_CORE
+
+        exc = crash(tmp_path / "orig")
+        other = next(c for c in CORES if c != execution_core)
+        monkeypatch.setenv(ENV_CORE, other)
+        matched, new_path, detail = replay_bundle(
+            exc.bundle_path, workdir=tmp_path / "replay")
+        assert matched, detail
+        bundle = load_bundle(new_path)
+        assert bundle["config"]["core"] == execution_core
+
+    def test_v1_bundle_without_core_still_loads(self, tmp_path):
+        """Version-1 bundles (no recorded core) predate the field and
+        must keep loading."""
+        exc = crash(tmp_path)
+        doc = json.loads(exc.bundle_path.read_text())
+        doc["version"] = 1
+        del doc["config"]["core"]
+        old = tmp_path / "v1.json"
+        old.write_text(json.dumps(doc))
+        bundle = load_bundle(old)
+        assert bundle["version"] == 1
+        assert "core" not in bundle["config"]
+
+
 class TestReplay:
     @pytest.mark.parametrize("kind", [
         "register", "retval", "wim", "cwp", "trap_drop", "trap_dup",
