@@ -1,0 +1,138 @@
+"""Def-use pass: reads of registers never written in the current window.
+
+The stale-value hazard the SP sharing scheme exposes (§3/§4.1): after a
+``save``, the new window's locals and outs hold whatever the previous
+occupant — possibly *another thread* — left there.  A read before a
+write in the same window therefore observes garbage that happens to be
+stable under one scheme/schedule and changes under another.
+
+The pass runs per function as a forward must-defined dataflow at
+instruction granularity (meet = intersection, worklist to fixpoint):
+
+* before a function's own ``save`` the code runs in the caller's
+  window, where every register is considered defined;
+* ``save`` starts a fresh window: ins stay defined (they are the
+  caller's outs = arguments), locals and outs become undefined;
+* ``call`` defines ``%o7`` (linkage) and, after the callee returns,
+  every out register (return values live in the callee's ins, which
+  alias the caller's outs) — so reads of outs after a call never flag;
+* a thread *entry* window is zero-filled by the schemes at first
+  dispatch, so entry ins and locals are defined; outs are residue.
+
+Reads of a may-undefined ``%l``/``%o`` register are reported as
+warnings (rule ``stale-read``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import ProgramCFG
+from repro.analysis.report import WARNING, Finding
+from repro.isa.instructions import ALU_OPS, BRANCH_OPS, Operand
+
+#: bit positions: locals 0..7, outs 8..15 (ins/globals never flag)
+_LOCAL = 0
+_OUT = 8
+_ALL_DEFINED = (1 << 16) - 1
+_OUTS_UNDEFINED = (1 << 16) - 1 - (0xFF << _OUT)
+_FRESH_WINDOW = _ALL_DEFINED & ~(0xFF << _LOCAL) & ~(0xFF << _OUT)
+
+
+def _bit(operand: Operand) -> Optional[int]:
+    if operand.bank == "l":
+        return _LOCAL + operand.index
+    if operand.bank == "o":
+        return _OUT + operand.index
+    return None
+
+
+def _reads_writes(instr) -> Tuple[List[Operand], List[Operand]]:
+    """Register operands an instruction reads / writes."""
+    op = instr.op
+    ops = instr.operands
+    regs = [o for o in ops if o.kind == Operand.REG]
+    mems = [o for o in ops if o.kind == Operand.MEM]
+    if op in ALU_OPS:
+        return regs[:-1] + mems, regs[-1:]
+    if op == "mov":
+        return regs[:-1] + mems, regs[-1:]
+    if op == "cmp":
+        return regs + mems, []
+    if op == "ld":
+        return mems, regs[-1:] if regs else []
+    if op == "st":
+        return regs + mems, []
+    if op in ("save", "restore", "retadd") and ops:
+        # three-operand form: sources read in the old window, the
+        # destination written in the new one (handled by the caller's
+        # window-transition logic; the write itself never flags)
+        return regs[:-1] + mems, []
+    return mems, []
+
+
+def analyze_function(cfg: ProgramCFG, entry: int,
+                     thread_entry: bool = False,
+                     program_name: str = "<program>") -> List[Finding]:
+    fn = cfg.functions[entry]
+    instrs = cfg.program.instructions
+    # entry state: caller's window, all defined — except a thread entry
+    # window, whose outs are physical residue
+    entry_state = _OUTS_UNDEFINED if thread_entry else _ALL_DEFINED
+    state_in: Dict[int, int] = {entry: entry_state}
+    worklist: List[int] = [entry]
+    flagged: Set[Tuple[int, int]] = set()
+    findings: List[Finding] = []
+    while worklist:
+        index = worklist.pop()
+        defined = state_in[index]
+        instr = instrs[index]
+        op = instr.op
+        reads, writes = _reads_writes(instr)
+        for operand in reads:
+            bit = _bit(operand)
+            if bit is not None and not (defined >> bit) & 1:
+                key = (index, bit)
+                if key not in flagged:
+                    flagged.add(key)
+                    findings.append(Finding(
+                        rule="stale-read", severity=WARNING,
+                        message=("%s reads %%%s%d before any write in "
+                                 "the current window"
+                                 % (op, operand.bank, operand.index)),
+                        file=program_name, line=instr.line,
+                        hint=("write the register first; under window "
+                              "sharing it holds another frame's residue")))
+        after = defined
+        for operand in writes:
+            bit = _bit(operand)
+            if bit is not None:
+                after |= 1 << bit
+        if op == "save":
+            after = _FRESH_WINDOW
+        elif op in ("restore", "ret", "retadd"):
+            # back in the caller's window: everything is live data
+            after = _ALL_DEFINED
+        elif op == "call":
+            # %o7 written now; on return the outs alias the callee's
+            # ins (return values), so treat every out as defined
+            after |= 0xFF << _OUT
+        for nxt in fn.succ.get(index, ()):
+            if nxt >= len(instrs):
+                continue
+            known = state_in.get(nxt)
+            merged = after if known is None else (known & after)
+            if known is None or merged != known:
+                state_in[nxt] = merged
+                worklist.append(nxt)
+    return findings
+
+
+def analyze_program(cfg: ProgramCFG, thread_entries: Set[int],
+                    program_name: str = "<program>") -> List[Finding]:
+    findings: List[Finding] = []
+    for entry in sorted(cfg.functions):
+        findings.extend(analyze_function(
+            cfg, entry, thread_entry=entry in thread_entries,
+            program_name=program_name))
+    return findings

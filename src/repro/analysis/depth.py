@@ -1,0 +1,129 @@
+"""Window-depth abstract interpretation over the CFG.
+
+Assigns every instruction of a function a *relative depth*: how many
+windows the thread has pushed since the function entry (``save`` +1,
+``restore``/``ret``/``retadd`` -1).  For well-formed programs the
+relative depth at an instruction is path-independent; a join reached
+at two different depths means an unbalanced save/restore structure,
+which is reported instead of bounded.
+
+Composing the per-function summaries over the call graph yields the
+static per-thread depth bound: for an acyclic call graph the exact
+maximum over all paths, for recursive programs "unbounded" (the depth
+depends on data — the abstract executor takes over when the data is
+statically known).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cfg import DEPTH_DELTA, ProgramCFG, RETURN_OPS
+
+#: bound value meaning "grows without a static limit"
+UNBOUNDED: Optional[int] = None
+
+
+@dataclass
+class DepthSummary:
+    """Per-function depth facts, relative to the entry window (depth 0)."""
+
+    entry: int
+    name: str
+    #: relative depth *before* each instruction executes
+    depth_at: Dict[int, int] = field(default_factory=dict)
+    #: max relative depth reached inside the function body itself
+    max_local: int = 0
+    #: min relative depth (negative: restores past the entry window)
+    min_local: int = 0
+    #: (ret/retl/retadd index, net depth after returning) per exit
+    returns: List[Tuple[int, int]] = field(default_factory=list)
+    #: joins reached at conflicting depths (index, depth_a, depth_b)
+    conflicts: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def balanced(self) -> bool:
+        """Every return path leaves the caller's depth unchanged."""
+        return (not self.conflicts
+                and all(net == 0 for __, net in self.returns))
+
+
+def summarize_function(cfg: ProgramCFG, entry: int) -> DepthSummary:
+    fn = cfg.functions[entry]
+    summary = DepthSummary(entry=entry, name=fn.name)
+    depth_at = summary.depth_at
+    stack: List[Tuple[int, int]] = [(entry, 0)]
+    while stack:
+        index, depth = stack.pop()
+        known = depth_at.get(index)
+        if known is not None:
+            if known != depth:
+                summary.conflicts.append((index, known, depth))
+            continue
+        depth_at[index] = depth
+        if depth > summary.max_local:
+            summary.max_local = depth
+        op = cfg.program.instructions[index].op
+        after = depth + DEPTH_DELTA.get(op, 0)
+        if after < summary.min_local:
+            summary.min_local = after
+        if op in RETURN_OPS:
+            summary.returns.append((index, after))
+            continue
+        for nxt in fn.succ.get(index, ()):
+            if nxt < len(cfg.program.instructions):
+                stack.append((nxt, after))
+    return summary
+
+
+@dataclass
+class DepthBounds:
+    """Program-level composition of the per-function summaries."""
+
+    summaries: Dict[int, DepthSummary]
+    #: entry index -> max additional depth a call to it can push
+    #: (``UNBOUNDED`` on a recursive cycle or an unbalanced callee)
+    bounds: Dict[int, Optional[int]]
+
+    def thread_bound(self, entry: int) -> Optional[int]:
+        """Max window depth a thread started at ``entry`` can reach
+        (the entry window counts as depth 1)."""
+        bound = self.bounds.get(entry, 0)
+        return UNBOUNDED if bound is UNBOUNDED else 1 + bound
+
+
+def compute_bounds(cfg: ProgramCFG) -> DepthBounds:
+    summaries = {entry: summarize_function(cfg, entry)
+                 for entry in cfg.functions}
+    recursive = cfg.recursive_entries()
+    bounds: Dict[int, Optional[int]] = {}
+
+    def bound_of(entry: int, visiting: frozenset) -> Optional[int]:
+        if entry in bounds:
+            return bounds[entry]
+        if entry in recursive or entry in visiting:
+            bounds[entry] = UNBOUNDED
+            return UNBOUNDED
+        summary = summaries[entry]
+        if summary.conflicts:
+            bounds[entry] = UNBOUNDED
+            return UNBOUNDED
+        best = summary.max_local
+        visiting = visiting | {entry}
+        for index, callee in cfg.functions[entry].calls:
+            at = summary.depth_at.get(index)
+            if at is None:
+                continue
+            sub = bound_of(callee, visiting)
+            if sub is UNBOUNDED:
+                bounds[entry] = UNBOUNDED
+                return UNBOUNDED
+            if at + sub > best:
+                best = at + sub
+        bounds[entry] = best
+        return best
+
+    for entry in cfg.functions:
+        bound_of(entry, frozenset())
+    return DepthBounds(summaries=summaries, bounds=bounds)

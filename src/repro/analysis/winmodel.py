@@ -1,0 +1,737 @@
+"""Counter-exact occupancy model of the NS/SNP/SP window schemes.
+
+The verifier predicts overflow/underflow trap counts, WIM wraparound
+and cycle totals for a given window count and scheme *without running
+the simulator*.  To make those predictions exact rather than bounds,
+this module re-states each scheme's bookkeeping — who occupies which
+window, where the boundary sits, what the WIM says — minus everything
+that moves register *data*.  Register contents never influence which
+traps fire (only the guest's dynamic save/restore/switch sequence
+does), so a model that tracks occupancy, residency and depth while
+charging the same :class:`repro.core.costs.CostModel` calls the
+schemes charge reproduces every counter bit-for-bit.
+
+The abstract executor (:mod:`repro.analysis.absmachine`) drives this
+model exactly as :class:`repro.isa.machine.Machine` drives the real
+scheme; the differential suite pins the two against each other on the
+committed program corpus.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.costs import CostModel
+from repro.core.ns import DEFAULT_TRANSFER_DEPTH
+from repro.core.sharing import GRANT_HEADROOM
+from repro.errors import ReproError
+
+#: window occupancy kinds (mirrors ``repro.windows.occupancy``)
+FREE = 0
+FRAME = 1
+RESERVED = 2
+
+
+class ModelError(ReproError):
+    """The modelled guest hit a guaranteed fault (e.g. restore at the
+    entry window) or the model itself lost a scheme invariant."""
+
+
+@dataclass
+class ModelCounters:
+    """Predicted counterpart of :class:`repro.metrics.counters.Counters`."""
+
+    saves: int = 0
+    restores: int = 0
+    overflow_traps: int = 0
+    underflow_traps: int = 0
+    windows_spilled: int = 0
+    windows_restored: int = 0
+    context_switches: int = 0
+    switch_transfer_hist: _Counter = field(default_factory=_Counter)
+    compute_cycles: int = 0
+    call_cycles: int = 0
+    trap_cycles: int = 0
+    switch_cycles: int = 0
+    #: saves whose target is window ``n_windows - 1`` — the CWP wrapped
+    #: around the cyclic file (not a Counters field; checked against
+    #: the trace-event stream instead)
+    wraparounds: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return (self.compute_cycles + self.call_cycles
+                + self.trap_cycles + self.switch_cycles)
+
+    @property
+    def window_traps(self) -> int:
+        return self.overflow_traps + self.underflow_traps
+
+    def as_comparable(self) -> Dict[str, object]:
+        """The fields a dynamic ``Counters`` must match exactly."""
+        return {
+            "saves": self.saves, "restores": self.restores,
+            "overflow_traps": self.overflow_traps,
+            "underflow_traps": self.underflow_traps,
+            "windows_spilled": self.windows_spilled,
+            "windows_restored": self.windows_restored,
+            "context_switches": self.context_switches,
+            "switch_transfer_hist": dict(self.switch_transfer_hist),
+            "compute_cycles": self.compute_cycles,
+            "call_cycles": self.call_cycles,
+            "trap_cycles": self.trap_cycles,
+            "switch_cycles": self.switch_cycles,
+            "total_cycles": self.total_cycles,
+        }
+
+
+class ModelThread:
+    """Occupancy-only counterpart of ``ThreadWindows``."""
+
+    __slots__ = ("tid", "cwp", "bottom", "resident", "depth", "stored",
+                 "prw", "started", "saved_outs", "max_depth",
+                 "stat_saves", "stat_restores", "stat_switches")
+
+    def __init__(self, tid: int):
+        self.tid = tid
+        self.cwp: Optional[int] = None
+        self.bottom: Optional[int] = None
+        self.resident = 0
+        self.depth = 0
+        #: frames in the backing store (count only; data lives in the
+        #: abstract executor's logical frame stack)
+        self.stored = 0
+        self.prw: Optional[int] = None
+        self.started = False
+        #: stack-top outs saved in the thread context (flag only)
+        self.saved_outs = False
+        self.max_depth = 0
+        self.stat_saves = 0
+        self.stat_restores = 0
+        self.stat_switches = 0
+
+    @property
+    def has_windows(self) -> bool:
+        return self.resident > 0
+
+
+class WindowModel:
+    """Base model: the CPU's save/restore plus shared scheme helpers.
+
+    Subclass per scheme; geometry follows ``WindowFile`` exactly —
+    ``above(w) == (w - 1) % n``, ``below(w) == (w + 1) % n``.
+    """
+
+    kind = "?"
+
+    def __init__(self, n_windows: int, cost_model: Optional[CostModel] = None):
+        self.n_windows = n_windows
+        self.cost = cost_model if cost_model is not None else CostModel()
+        self.counters = ModelCounters()
+        self.kinds: List[int] = [FREE] * n_windows
+        self.tids: List[Optional[int]] = [None] * n_windows
+        #: True = invalid (traps), mirroring ``WindowFile._wim``
+        self.wim: List[bool] = [False] * n_windows
+        self.cwp = 0
+        self.threads: Dict[int, ModelThread] = {}
+        self.current: Optional[ModelThread] = None
+
+    # -- geometry ----------------------------------------------------------
+
+    def above(self, w: int) -> int:
+        return (w - 1) % self.n_windows
+
+    def below(self, w: int) -> int:
+        return (w + 1) % self.n_windows
+
+    # -- registration ------------------------------------------------------
+
+    def add_thread(self, tid: int) -> ModelThread:
+        if tid in self.threads:
+            raise ModelError("thread %d already registered" % tid)
+        tw = ModelThread(tid)
+        self.threads[tid] = tw
+        return tw
+
+    # -- the two window instructions ---------------------------------------
+
+    def save(self, tw: ModelThread) -> None:
+        c = self.counters
+        c.saves += 1
+        c.call_cycles += self.cost.save_instr
+        tw.stat_saves += 1
+        target = self.above(self.cwp)
+        if self.wim[target]:
+            self.handle_overflow(tw)
+            target = self.above(self.cwp)
+            if self.wim[target]:
+                raise ModelError(
+                    "overflow handler left target window %d invalid"
+                    % target, window=target, thread=tw.tid)
+        if target == self.n_windows - 1:
+            c.wraparounds += 1
+        self.cwp = target
+        tw.cwp = target
+        tw.resident += 1
+        tw.depth += 1
+        if tw.depth > tw.max_depth:
+            tw.max_depth = tw.depth
+        self.kinds[target] = FRAME
+        self.tids[target] = tw.tid
+
+    def restore(self, tw: ModelThread) -> bool:
+        if tw.depth <= 1:
+            raise ModelError(
+                "thread %d executed restore at depth %d" % (tw.tid, tw.depth))
+        c = self.counters
+        c.restores += 1
+        c.call_cycles += self.cost.restore_instr
+        tw.stat_restores += 1
+        target = self.below(self.cwp)
+        if self.wim[target]:
+            self.handle_underflow(tw)
+            return True
+        self.kinds[self.cwp] = FREE
+        self.tids[self.cwp] = None
+        self.cwp = target
+        tw.cwp = target
+        tw.resident -= 1
+        tw.depth -= 1
+        return False
+
+    # -- scheme policy (subclasses) ----------------------------------------
+
+    def handle_overflow(self, tw: ModelThread) -> None:
+        raise NotImplementedError
+
+    def handle_underflow(self, tw: ModelThread) -> None:
+        raise NotImplementedError
+
+    def context_switch(self, out_tw: Optional[ModelThread],
+                       in_tw: ModelThread, flush_out: bool = False) -> None:
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _spill_bottom(self, victim: ModelThread) -> int:
+        old_bottom = victim.bottom
+        if victim.resident == 0 or old_bottom is None:
+            raise ModelError(
+                "thread %d has no bottom window to spill" % victim.tid)
+        victim.stored += 1
+        victim.resident -= 1
+        if victim.resident == 0:
+            victim.cwp = None
+            victim.bottom = None
+        else:
+            victim.bottom = self.above(old_bottom)
+        self.kinds[old_bottom] = FREE
+        self.tids[old_bottom] = None
+        if victim.resident == 0 and victim.prw is not None:
+            victim.saved_outs = True
+            self.kinds[victim.prw] = FREE
+            self.tids[victim.prw] = None
+            victim.prw = None
+        return old_bottom
+
+    def _make_free(self, w: int) -> int:
+        saves = 0
+        while self.kinds[w] != FREE:
+            if self.kinds[w] != FRAME:
+                raise ModelError(
+                    "window %d is reserved; expected a stack-bottom frame"
+                    % w)
+            victim = self.threads[self.tids[w]]
+            if victim.bottom != w:
+                raise ModelError(
+                    "window %d belongs to thread %d but is not its bottom"
+                    % (w, victim.tid))
+            self._spill_bottom(victim)
+            saves += 1
+        return saves
+
+    def _install_single_frame(self, tw: ModelThread, w: int) -> int:
+        restores = 0
+        if tw.started:
+            if tw.stored == 0:
+                raise ModelError(
+                    "started thread %d is windowless with an empty "
+                    "backing store" % tw.tid)
+            tw.stored -= 1
+            restores = 1
+        else:
+            tw.depth = 1
+            if tw.depth > tw.max_depth:
+                tw.max_depth = tw.depth
+        tw.cwp = w
+        tw.bottom = w
+        tw.resident = 1
+        self.kinds[w] = FRAME
+        self.tids[w] = tw.tid
+        return restores
+
+    def _flush_out_windows(self, out_tw: Optional[ModelThread],
+                           flush_out: bool) -> int:
+        if not flush_out or out_tw is None or not out_tw.has_windows:
+            return 0
+        out_tw.saved_outs = True
+        count = 0
+        while out_tw.resident:
+            self._spill_bottom(out_tw)
+            count += 1
+        return count
+
+    def _run_thread(self, tw: ModelThread) -> None:
+        assert tw.cwp is not None
+        self.cwp = tw.cwp
+        self.current = tw
+        tw.started = True
+
+    def _record_switch(self, in_tw: ModelThread, saves: int, restores: int,
+                       cycles: int) -> None:
+        c = self.counters
+        c.context_switches += 1
+        c.switch_transfer_hist[(saves, restores)] += 1
+        c.windows_spilled += saves
+        c.windows_restored += restores
+        c.switch_cycles += cycles
+        in_tw.stat_switches += 1
+
+    def retire(self, tw: ModelThread) -> None:
+        if tw.cwp is not None:
+            w = tw.cwp
+            for __ in range(tw.resident):
+                self.kinds[w] = FREE
+                self.tids[w] = None
+                w = self.below(w)
+        if tw.prw is not None:
+            self.kinds[tw.prw] = FREE
+            self.tids[tw.prw] = None
+        tw.cwp = None
+        tw.bottom = None
+        tw.resident = 0
+        tw.prw = None
+        tw.depth = 0
+        tw.stored = 0
+        if self.current is tw:
+            self.current = None
+
+    def fold_thread_stats(self) -> Dict[str, Dict[int, int]]:
+        """Predicted per-thread dicts (``Counters.fold_thread_stats``)."""
+        return {
+            "per_thread_saves": {t.tid: t.stat_saves
+                                 for t in self.threads.values()
+                                 if t.stat_saves},
+            "per_thread_restores": {t.tid: t.stat_restores
+                                    for t in self.threads.values()
+                                    if t.stat_restores},
+            "per_thread_switches": {t.tid: t.stat_switches
+                                    for t in self.threads.values()
+                                    if t.stat_switches},
+        }
+
+
+class NSModel(WindowModel):
+    """Non-sharing: single reserved window, flush-all context switch."""
+
+    kind = "NS"
+
+    def __init__(self, n_windows: int,
+                 cost_model: Optional[CostModel] = None,
+                 transfer_depth: int = DEFAULT_TRANSFER_DEPTH):
+        super().__init__(n_windows, cost_model)
+        if transfer_depth < 1:
+            raise ModelError("transfer depth must be >= 1, got %d"
+                             % transfer_depth)
+        self.transfer_depth = transfer_depth
+        self.reserved = 0
+        self.kinds[0] = RESERVED
+        # set_wim_only: everything valid except the reserved window
+        self.wim = [False] * n_windows
+        self.wim[0] = True
+        self._overflow_costs = [0] + [
+            self.cost.overflow_cost_multi(k)
+            for k in range(1, transfer_depth + 1)]
+        self._underflow_costs = [0] + [
+            self.cost.underflow_conventional_multi(k)
+            for k in range(1, transfer_depth + 1)]
+
+    def handle_overflow(self, tw: ModelThread) -> None:
+        boundary = self.above(self.cwp)
+        if boundary != self.reserved:
+            raise ModelError("NS overflow at window %d but reserved is %d"
+                             % (boundary, self.reserved))
+        if tw.resident < 2:
+            raise ModelError("NS overflow with %d resident frames"
+                             % tw.resident)
+        spills = min(self.transfer_depth, tw.resident - 1)
+        new_reserved = self.reserved
+        for __ in range(spills):
+            new_reserved = self._spill_bottom(tw)
+        self.kinds[self.reserved] = FREE
+        self.tids[self.reserved] = None
+        self.kinds[new_reserved] = RESERVED
+        self.tids[new_reserved] = None
+        self.reserved = new_reserved
+        self.wim = [False] * self.n_windows
+        self.wim[new_reserved] = True
+        cycles = self._overflow_costs[spills]
+        c = self.counters
+        c.overflow_traps += 1
+        c.windows_spilled += 1
+        c.trap_cycles += cycles
+
+    def handle_underflow(self, tw: ModelThread) -> None:
+        target = self.below(self.cwp)
+        if target != self.reserved:
+            raise ModelError("NS underflow at window %d but reserved is %d"
+                             % (target, self.reserved))
+        if tw.resident != 1:
+            raise ModelError("NS underflow with %d resident frames"
+                             % tw.resident)
+        restores = min(self.transfer_depth, tw.stored, self.n_windows - 2)
+        if restores < 1:
+            raise ModelError("NS underflow with an empty backing store")
+        w = target
+        last = target
+        for __ in range(restores):
+            tw.stored -= 1
+            self.kinds[w] = FRAME
+            self.tids[w] = tw.tid
+            last = w
+            w = self.below(w)
+        self.kinds[self.cwp] = FREE
+        self.tids[self.cwp] = None
+        self.cwp = target
+        tw.cwp = target
+        tw.bottom = last
+        tw.resident = restores
+        tw.depth -= 1
+        new_reserved = self.below(last)
+        if self.kinds[new_reserved] != FREE:
+            raise ModelError(
+                "NS: window %d below the restored frames is occupied"
+                % new_reserved)
+        self.kinds[new_reserved] = RESERVED
+        self.tids[new_reserved] = None
+        self.reserved = new_reserved
+        self.wim = [False] * self.n_windows
+        self.wim[new_reserved] = True
+        cycles = self._underflow_costs[restores]
+        c = self.counters
+        c.underflow_traps += 1
+        c.windows_restored += 1
+        c.trap_cycles += cycles
+
+    def context_switch(self, out_tw: Optional[ModelThread],
+                       in_tw: ModelThread, flush_out: bool = False) -> None:
+        saves = 0
+        if out_tw is not None and out_tw.resident > 0:
+            out_tw.saved_outs = True
+            while out_tw.resident > 0:
+                out_tw.stored += 1
+                assert out_tw.bottom is not None
+                self.kinds[out_tw.bottom] = FREE
+                self.tids[out_tw.bottom] = None
+                out_tw.resident -= 1
+                out_tw.bottom = self.above(out_tw.bottom)
+                saves += 1
+            out_tw.cwp = None
+            out_tw.bottom = None
+        top = self.above(self.reserved)
+        if self.kinds[top] != FREE:
+            raise ModelError(
+                "NS: window %d above the reserved window is occupied "
+                "after a flush" % top)
+        restores = self._install_single_frame(in_tw, top)
+        if in_tw.saved_outs:
+            in_tw.saved_outs = False
+        self._run_thread(in_tw)
+        self.wim = [False] * self.n_windows
+        self.wim[self.reserved] = True
+        cycles = self.cost.ns_switch_cost(saves, restores)
+        self._record_switch(in_tw, saves, restores, cycles)
+
+
+class SharingModel(WindowModel):
+    """Common trap handling of the SNP and SP models (paper §3.2)."""
+
+    _prw_boundary = False
+    grant_headroom = GRANT_HEADROOM
+
+    def __init__(self, n_windows: int,
+                 cost_model: Optional[CostModel] = None):
+        super().__init__(n_windows, cost_model)
+        self.reserved = 0
+        self._overflow_spill_cost = self.cost.overflow_cost(True)
+        self._overflow_free_cost = self.cost.overflow_cost(False)
+        self._underflow_cost = self.cost.underflow_inplace_cost()
+
+    def handle_overflow(self, tw: ModelThread) -> None:
+        boundary = self.above(self.cwp)
+        if self._prw_boundary:
+            expected = tw.prw
+            if expected is None:
+                raise ModelError(
+                    "thread %d has no PRW while running" % tw.tid)
+        else:
+            expected = self.reserved
+        if boundary != expected:
+            raise ModelError(
+                "%s overflow at window %d but the boundary is %d"
+                % (self.kind, boundary, expected))
+        if self.above(boundary) == self.cwp:
+            raise ModelError(
+                "window file too small: overflow wrapped onto the CWP")
+        self.kinds[boundary] = FREE
+        self.tids[boundary] = None
+        spilled = self._position_boundary(tw, top=boundary)
+        cycles = (self._overflow_spill_cost if spilled
+                  else self._overflow_free_cost)
+        c = self.counters
+        c.overflow_traps += 1
+        if spilled:
+            c.windows_spilled += 1
+        c.trap_cycles += cycles
+
+    def _position_boundary(self, tw: ModelThread, top: int) -> int:
+        n = self.n_windows
+        kinds = self.kinds
+        relocatable = tw.prw if self._prw_boundary else self.reserved
+        resident = tw.resident
+        if kinds[top] == FRAME:
+            limit = n - resident
+            above_len = resident - 1
+        else:
+            limit = n - resident - 1
+            above_len = resident
+        headroom = self.grant_headroom + 1
+        if limit > headroom:
+            limit = headroom
+        count = 0
+        w = self.above(top)
+        while count < limit and (kinds[w] == FREE or w == relocatable):
+            count += 1
+            w = self.above(w)
+        saves = 0
+        if not count:
+            saves = self._make_free(self.above(top))
+            if saves > 1:
+                raise ModelError(
+                    "boundary placement spilled %d windows" % saves)
+            count = 1
+            if kinds[top] == FRAME:
+                above_len = tw.resident - 1
+            else:
+                above_len = tw.resident
+        boundary = (top - count) % n
+        if (relocatable is not None and relocatable != boundary
+                and kinds[relocatable] == RESERVED):
+            kinds[relocatable] = FREE
+            self.tids[relocatable] = None
+        kinds[boundary] = RESERVED
+        if self._prw_boundary:
+            self.tids[boundary] = tw.tid
+            tw.prw = boundary
+        else:
+            self.tids[boundary] = None
+            self.reserved = boundary
+        self._set_wim_span(boundary, count + above_len)
+        return saves
+
+    def _set_wim_span(self, boundary: int, length: int) -> None:
+        """All invalid except the cyclic span just above the boundary."""
+        n = self.n_windows
+        wim = [True] * n
+        w = self.below(boundary)
+        for __ in range(length):
+            wim[w] = False
+            w = self.below(w)
+        self.wim = wim
+
+    def handle_underflow(self, tw: ModelThread) -> None:
+        if tw.resident != 1 or tw.bottom != self.cwp:
+            raise ModelError(
+                "underflow with resident=%d bottom=%s cwp=%d"
+                % (tw.resident, tw.bottom, self.cwp))
+        if tw.stored == 0:
+            raise ModelError(
+                "thread %d underflowed with an empty backing store" % tw.tid)
+        tw.stored -= 1
+        tw.depth -= 1
+        # CWP, bottom, resident, WIM and occupancy all stay put.
+        cycles = self._underflow_cost
+        c = self.counters
+        c.underflow_traps += 1
+        c.windows_restored += 1
+        c.trap_cycles += cycles
+
+
+class SNPModel(SharingModel):
+    """Sharing without PRW: one global reserved window."""
+
+    kind = "SNP"
+
+    def __init__(self, n_windows: int,
+                 cost_model: Optional[CostModel] = None):
+        super().__init__(n_windows, cost_model)
+        self.kinds[0] = RESERVED
+        self.wim = [True] * n_windows
+
+    def context_switch(self, out_tw: Optional[ModelThread],
+                       in_tw: ModelThread, flush_out: bool = False) -> None:
+        saves = 0
+        flushed = (self._flush_out_windows(out_tw, flush_out)
+                   if flush_out else 0)
+        if out_tw is not None and out_tw.resident > 0:
+            out_tw.saved_outs = True
+        if in_tw.has_windows:
+            restores = 0
+        else:
+            top = self.reserved  # simple policy (§4.2)
+            restores = self._install_single_frame(in_tw, top)
+        # Re-site the reserved window above the incoming thread's top.
+        top = in_tw.cwp
+        assert top is not None
+        n = self.n_windows
+        kinds = self.kinds
+        resident = in_tw.resident
+        relocatable = self.reserved
+        limit = n - resident
+        headroom = self.grant_headroom + 1
+        if limit > headroom:
+            limit = headroom
+        count = 0
+        w = self.above(top)
+        while count < limit and (kinds[w] == FREE or w == relocatable):
+            count += 1
+            w = self.above(w)
+        if not count:
+            saves += self._make_free(self.above(top))
+            count = 1
+            resident = in_tw.resident
+        boundary = (top - count) % n
+        if relocatable != boundary and kinds[relocatable] == RESERVED:
+            kinds[relocatable] = FREE
+            self.tids[relocatable] = None
+        kinds[boundary] = RESERVED
+        self.tids[boundary] = None
+        self.reserved = boundary
+        self._set_wim_span(boundary, count + resident - 1)
+        if in_tw.saved_outs:
+            in_tw.saved_outs = False
+        self._run_thread(in_tw)
+        cycles = (self.cost.snp_switch_cost(saves, restores)
+                  + self.cost.flush_cost(flushed))
+        saves += flushed
+        self._record_switch(in_tw, saves, restores, cycles)
+
+
+class SPModel(SharingModel):
+    """Sharing with a private reserved window per thread."""
+
+    kind = "SP"
+    _prw_boundary = True
+
+    def __init__(self, n_windows: int,
+                 cost_model: Optional[CostModel] = None):
+        if n_windows < 4:
+            raise ModelError("SP needs at least 4 windows, got %d"
+                             % n_windows)
+        super().__init__(n_windows, cost_model)
+        self._anchor = 0
+        self.wim = [True] * n_windows
+
+    def context_switch(self, out_tw: Optional[ModelThread],
+                       in_tw: ModelThread, flush_out: bool = False) -> None:
+        kinds = self.kinds
+        saves = 0
+        restores = 0
+        allocated = False
+        flushed = (self._flush_out_windows(out_tw, flush_out)
+                   if flush_out else 0)
+        if out_tw is not None and out_tw.has_windows:
+            # snug the PRW down to immediately above the stack-top
+            assert out_tw.cwp is not None and out_tw.prw is not None
+            snug = self.above(out_tw.cwp)
+            prw = out_tw.prw
+            if prw != snug:
+                if kinds[snug] != FREE:
+                    raise ModelError(
+                        "window %d above thread %d's top is occupied, "
+                        "expected vacated" % (snug, out_tw.tid))
+                kinds[prw] = FREE
+                self.tids[prw] = None
+                kinds[snug] = RESERVED
+                self.tids[snug] = out_tw.tid
+                out_tw.prw = snug
+            self._anchor = out_tw.prw
+        if in_tw.has_windows:
+            if in_tw.prw is None or in_tw.prw != self.above(in_tw.cwp):
+                raise ModelError(
+                    "thread %d resident without a snug PRW (%s)"
+                    % (in_tw.tid, in_tw.prw))
+        else:
+            allocated = True
+            anchor = self._anchor
+            if out_tw is not None and out_tw.prw is not None:
+                anchor = out_tw.prw
+            top = self.above(anchor)
+            if kinds[top] != FREE:
+                saves += self._make_free(top)
+            restores = self._install_single_frame(in_tw, top)
+        # Place the PRW above the top, granting any free run.
+        top = in_tw.cwp
+        assert top is not None
+        n = self.n_windows
+        resident = in_tw.resident
+        relocatable = in_tw.prw
+        limit = n - resident
+        headroom = self.grant_headroom + 1
+        if limit > headroom:
+            limit = headroom
+        count = 0
+        w = self.above(top)
+        while count < limit and (kinds[w] == FREE or w == relocatable):
+            count += 1
+            w = self.above(w)
+        if not count:
+            saves += self._make_free(self.above(top))
+            count = 1
+            resident = in_tw.resident
+        boundary = (top - count) % n
+        if (relocatable is not None and relocatable != boundary
+                and kinds[relocatable] == RESERVED):
+            kinds[relocatable] = FREE
+            self.tids[relocatable] = None
+        kinds[boundary] = RESERVED
+        self.tids[boundary] = in_tw.tid
+        in_tw.prw = boundary
+        self._set_wim_span(boundary, count + resident - 1)
+        if in_tw.saved_outs:
+            in_tw.saved_outs = False
+        self._run_thread(in_tw)
+        cycles = (self.cost.sp_switch_cost(saves, restores, allocated)
+                  + self.cost.flush_cost(flushed))
+        saves += flushed
+        self._record_switch(in_tw, saves, restores, cycles)
+
+    def retire(self, tw: ModelThread) -> None:
+        if tw.prw is not None and self._anchor == tw.prw:
+            self._anchor = 0
+        super().retire(tw)
+
+
+_MODELS = {"NS": NSModel, "SNP": SNPModel, "SP": SPModel}
+
+
+def make_model(scheme: str, n_windows: int,
+               cost_model: Optional[CostModel] = None,
+               **kwargs) -> WindowModel:
+    try:
+        cls = _MODELS[scheme.upper()]
+    except KeyError:
+        raise ModelError("unknown scheme %r" % scheme) from None
+    return cls(n_windows, cost_model, **kwargs)

@@ -100,7 +100,8 @@ def run_spellchecker(n_windows: int, scheme: str, config: SpellConfig,
                      instrument=None, faults=None, audit: bool = False,
                      watchdog: Optional[int] = None, crash_dir=None,
                      crash_config=None,
-                     core: Optional[str] = None) -> Tuple[RunResult, bytes]:
+                     core: Optional[str] = None,
+                     analyze: bool = False) -> Tuple[RunResult, bytes]:
     """Build and run the pipeline; returns (result, misspelling report).
 
     ``verify_registers`` defaults to False here (unlike the kernel
@@ -119,6 +120,10 @@ def run_spellchecker(n_windows: int, scheme: str, config: SpellConfig,
     ``core`` selects the execution core ("batched"/"generator"; see
     :mod:`repro.runtime.batch`) — None picks up ``$REPRO_CORE`` or the
     batched default.
+
+    ``analyze`` runs the static stream-topology check
+    (:mod:`repro.analysis.topology`) before the first step; a
+    guaranteed deadlock raises ``AnalysisError`` instead of running.
     """
     if crash_dir is not None and crash_config is None:
         crash_config = {
@@ -133,7 +138,7 @@ def run_spellchecker(n_windows: int, scheme: str, config: SpellConfig,
                     verify_registers=verify_registers,
                     faults=faults, audit=audit, watchdog=watchdog,
                     crash_dir=crash_dir, crash_config=crash_config,
-                    core=core)
+                    core=core, analyze=analyze)
     if instrument is not None:
         instrument(kernel)
     build_spellchecker(kernel, config)

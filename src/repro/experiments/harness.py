@@ -66,8 +66,11 @@ class ExperimentPoint:
 def run_point(scheme: str, n_windows: int, concurrency: str,
               granularity: str, scale: Optional[float] = None,
               working_set: bool = False, seed: int = 1993,
-              allocation=None) -> ExperimentPoint:
-    """Run the spell checker once and summarise the counters."""
+              allocation=None, analyze: bool = False) -> ExperimentPoint:
+    """Run the spell checker once and summarise the counters.
+
+    ``analyze`` arms the pre-run static topology gate (see
+    :func:`repro.apps.spellcheck.pipeline.run_spellchecker`)."""
     if scale is None:
         scale = env_scale()
     config = SpellConfig.named(concurrency, granularity,
@@ -75,7 +78,7 @@ def run_point(scheme: str, n_windows: int, concurrency: str,
     policy = WorkingSetPolicy() if working_set else FIFOPolicy()
     result, output = run_spellchecker(
         n_windows, scheme, config, queue_policy=policy,
-        allocation=allocation)
+        allocation=allocation, analyze=analyze)
     c = result.counters
     names = {t.tid: t.name for t in result.threads}
     return ExperimentPoint(

@@ -55,7 +55,7 @@ class FuzzTrial:
     core: str
     plan: FaultPlan
     config: dict = field(default_factory=dict)
-    outcome: str = "survived"  # survived | detected | unexpected
+    outcome: str = "survived"  # survived | detected | rejected | unexpected
     error_type: Optional[str] = None
     bundle: Optional[Path] = None
     minimized: Optional[MinimizeResult] = None
@@ -73,7 +73,7 @@ class FuzzTrial:
             text += (" -> minimized %d spec(s) (%s)"
                      % (self.minimized.final_specs,
                         self.minimized.path.name))
-        if self.outcome == "unexpected":
+        if self.outcome in ("unexpected", "rejected"):
             text += " %s" % self.detail
         return text
 
@@ -98,6 +98,11 @@ class FuzzReport:
         return sum(t.minimized is not None for t in self.trials)
 
     @property
+    def rejected(self) -> int:
+        """Trials the static pre-validation refused to run."""
+        return sum(t.outcome == "rejected" for t in self.trials)
+
+    @property
     def unexpected(self) -> int:
         return sum(t.outcome == "unexpected" for t in self.trials)
 
@@ -111,9 +116,10 @@ class FuzzReport:
 
     def summary(self) -> str:
         return ("fuzz: %d trials — %d survived, %d detected "
-                "(%d minimized), %d unexpected (seed=%s)"
+                "(%d minimized), %d rejected, %d unexpected (seed=%s)"
                 % (len(self.trials), self.survived, self.detected,
-                   self.minimized, self.unexpected, self.seed))
+                   self.minimized, self.rejected, self.unexpected,
+                   self.seed))
 
 
 def draw_trial(seed: int, index: int,
@@ -150,6 +156,27 @@ def draw_trial(seed: int, index: int,
                      core=config["core"], plan=plan, config=config)
 
 
+def _prevalidate(trial: FuzzTrial) -> bool:
+    """Static topology check of the drawn workload plan.
+
+    Records the verdict in the trial's config (so any later crash
+    bundle carries it; ``run_workload`` ignores unknown keys).  A plan
+    the verifier proves deadlocked — a known-bad plan — is *rejected*
+    without burning the trial's step budget; returns False for those.
+    """
+    from repro.analysis.topology import analyze_workload_config
+
+    static = analyze_workload_config(trial.config)
+    errors = static.errors
+    if errors:
+        trial.config["static_verdict"] = "rejected"
+        trial.outcome = "rejected"
+        trial.detail = "; ".join(f.describe() for f in errors)
+        return False
+    trial.config["static_verdict"] = "clean"
+    return True
+
+
 def run_fuzz(trials: int = DEFAULT_TRIALS, seed: int = DEFAULT_SEED,
              out_dir="fuzz-out",
              workloads: Optional[Sequence[str]] = None,
@@ -168,6 +195,11 @@ def run_fuzz(trials: int = DEFAULT_TRIALS, seed: int = DEFAULT_SEED,
     for index in range(trials):
         trial = draw_trial(seed, index, names, schemes=schemes,
                            cores=cores, trial_budget=trial_budget)
+        if not _prevalidate(trial):
+            report.trials.append(trial)
+            if log is not None:
+                log(trial.describe())
+            continue
         injector = FaultInjector(trial.plan)
         try:
             run_workload(trial.config, faults=injector,

@@ -94,7 +94,8 @@ class Kernel:
                  watchdog: Optional[int] = None,
                  crash_dir=None,
                  crash_config: Optional[dict] = None,
-                 core: Optional[str] = None):
+                 core: Optional[str] = None,
+                 analyze: bool = False):
         #: execution core: "batched" (run-until-event, the default) or
         #: "generator" (the step-granular reference trampoline); an
         #: explicit argument wins over the $REPRO_CORE override
@@ -131,6 +132,8 @@ class Kernel:
         self.telemetry = None
         self._profiler = None
         self._running = False
+        #: run the static topology check before the first step (run())
+        self._analyze = analyze
         self._steps = 0
         #: progress clock: ticks, calls, returns, spawns and completed
         #: blocking operations move it; yield storms do not
@@ -260,6 +263,14 @@ class Kernel:
         ``crash_dir`` is set — dumped as a replayable crash bundle whose
         path lands on the exception as ``bundle_path``.
         """
+        if self._analyze:
+            # opt-in pre-run gate: static stream-topology check over
+            # everything spawned so far; a guaranteed deadlock (a
+            # stream read but never written or closed) aborts before
+            # the first instruction runs
+            from repro.analysis.topology import analyze_kernel
+
+            analyze_kernel(self).raise_if_errors("workload topology")
         self._running = True
         try:
             return self._run_to_completion(max_steps)

@@ -28,7 +28,7 @@ class Frame:
     depth: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class BackingStore:
     """Memory stack of spilled frames for one thread (outermost first)."""
 

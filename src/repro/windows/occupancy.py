@@ -23,6 +23,8 @@ RESERVED = "reserved"
 class WindowMap:
     """Ownership map over the physical windows."""
 
+    __slots__ = ("n_windows", "_kind", "_tid")
+
     def __init__(self, n_windows: int):
         self.n_windows = n_windows
         self._kind: List[str] = [FREE] * n_windows
