@@ -13,14 +13,24 @@ evaluation program):
   {high, low} concurrency x {coarse, medium, fine} granularity) through
   the serial harness, i.e. what one engine worker pays per grid.
 
+Both measurements run on one *execution backend* — the pure-Python
+loop or the optional compiled fast path (:mod:`repro._fast`) —
+selected with ``--backend`` / ``$REPRO_BACKEND`` / auto-detection and
+recorded in the document's ``settings`` (together with the Python
+version and compiler, so numbers are only ever read like-with-like).
+
 Baselines are committed at the repo root as ``BENCH_<n>.json`` and
 form the perf history: each PR that re-baselines appends the next id
-instead of overwriting.  ``--check`` compares against the *latest*
-baseline and fails (exit 1) when the current tree's headline steps/sec
+instead of overwriting.  ``--check`` compares against the latest
+baseline *measured on the same backend* (pre-backend documents count
+as pure) and fails (exit 1) when the current tree's headline steps/sec
 or sweep throughput regresses more than ``--tolerance`` (default 20%,
 override with ``REPRO_BENCH_TOLERANCE``); ``--update`` writes the next
 ``BENCH_<n+1>.json``, preserving the recorded pre-optimization
-reference numbers under ``baseline_pre_pr``.
+reference numbers under ``baseline_pre_pr``.  ``--ab-backends`` runs
+the micro suite on both backends back-to-back and reports the
+speedup; its result rides along in the updated baseline under
+``backends_ab``.
 
 Two additional modes:
 
@@ -48,6 +58,7 @@ from typing import Dict, List, Optional
 from repro.apps.spellcheck import SpellConfig, run_spellchecker
 from repro.experiments.harness import run_point
 from repro.ioutil import atomic_write_text
+from repro.runtime import backend as backend_mod
 
 SCHEMA_NAME = "repro.bench"
 SCHEMA_VERSION = 1
@@ -90,6 +101,11 @@ DEFAULT_MICRO_SCALE = 0.25
 DEFAULT_SWEEP_SCALE = 0.05
 DEFAULT_REPEATS = 3
 DEFAULT_TOLERANCE = 0.20
+#: single micro points have far higher run-to-run variance than the
+#: aggregate headline (one point is ~1s of wall time on a shared
+#: host), so --check gives them this much extra headroom on top of
+#: --tolerance before calling a regression
+MICRO_POINT_MARGIN = 1.75
 DEFAULT_AB_TOLERANCE = 0.03
 AB_SCHEME = "SP"
 AB_WINDOWS = 8
@@ -112,7 +128,8 @@ def _env_int(name: str, default: int) -> int:
 
 
 def bench_micro_point(scheme: str, n_windows: int, scale: float,
-                      repeats: int) -> Dict[str, object]:
+                      repeats: int,
+                      backend: Optional[str] = None) -> Dict[str, object]:
     """Best-of-``repeats`` steps/sec for one (scheme, windows) point."""
     config = SpellConfig.named(MICRO_CONCURRENCY, MICRO_GRANULARITY,
                                scale=scale)
@@ -120,7 +137,8 @@ def bench_micro_point(scheme: str, n_windows: int, scale: float,
     steps = 0
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
-        result, _out = run_spellchecker(n_windows, scheme, config)
+        result, _out = run_spellchecker(n_windows, scheme, config,
+                                        backend=backend)
         elapsed = time.perf_counter() - start
         steps = result.steps
         if best is None or elapsed < best:
@@ -153,8 +171,9 @@ def bench_sweep(scale: float) -> Dict[str, object]:
 def run_suite(micro_scale: Optional[float] = None,
               sweep_scale: Optional[float] = None,
               repeats: Optional[int] = None,
+              backend: Optional[str] = None,
               quiet: bool = False) -> Dict[str, object]:
-    """Run the full suite and return the benchmark document."""
+    """Run the full suite on one backend; returns the bench document."""
     micro_scale = (micro_scale if micro_scale is not None
                    else _env_float("REPRO_BENCH_SCALE", DEFAULT_MICRO_SCALE))
     sweep_scale = (sweep_scale if sweep_scale is not None
@@ -162,12 +181,13 @@ def run_suite(micro_scale: Optional[float] = None,
                                    DEFAULT_SWEEP_SCALE))
     repeats = (repeats if repeats is not None
                else _env_int("REPRO_BENCH_REPEATS", DEFAULT_REPEATS))
+    backend = backend_mod.select_backend(backend)
 
     micro: List[Dict[str, object]] = []
     for scheme in SCHEMES:
         for n_windows in MICRO_WINDOWS:
             point = bench_micro_point(scheme, n_windows, micro_scale,
-                                      repeats)
+                                      repeats, backend=backend)
             micro.append(point)
             if not quiet:
                 print("micro %-3s w=%-2d  %8d steps  %7.3fs  %10.0f steps/s"
@@ -178,12 +198,23 @@ def run_suite(micro_scale: Optional[float] = None,
     total_wall = sum(p["wall_s"] for p in micro)
     headline = round(total_steps / total_wall, 1)
 
-    sweep = bench_sweep(sweep_scale)
+    # the sweep goes through the experiment harness, which builds its
+    # kernels internally — pin its backend through the environment
+    saved = os.environ.get(backend_mod.ENV_BACKEND)
+    os.environ[backend_mod.ENV_BACKEND] = backend
+    try:
+        sweep = bench_sweep(sweep_scale)
+    finally:
+        if saved is None:
+            os.environ.pop(backend_mod.ENV_BACKEND, None)
+        else:
+            os.environ[backend_mod.ENV_BACKEND] = saved
     if not quiet:
         print("sweep %d points in %.3fs (%.2f points/s)"
               % (sweep["points"], sweep["wall_s"],
                  sweep["points_per_sec"]))
-        print("headline spellcheck steps/sec: %.0f" % headline)
+        print("headline spellcheck steps/sec (%s backend): %.0f"
+              % (backend, headline))
 
     return {
         "schema": SCHEMA_NAME,
@@ -195,7 +226,9 @@ def run_suite(micro_scale: Optional[float] = None,
             "repeats": repeats,
             "concurrency": MICRO_CONCURRENCY,
             "granularity": MICRO_GRANULARITY,
+            "backend": backend,
             "python": platform.python_version(),
+            "compiler": platform.python_compiler(),
         },
         "micro": micro,
         "spellcheck_steps_per_sec": headline,
@@ -212,21 +245,53 @@ def load_baseline(path: Optional[Path] = None) -> Dict[str, object]:
     return doc
 
 
+def doc_backend(doc: Dict[str, object]) -> str:
+    """The backend a bench document was measured on.
+
+    Documents from before the compiled backend existed carry no record
+    — they were necessarily measured on the pure loop.
+    """
+    return str(doc.get("settings", {}).get("backend") or "pure")
+
+
+def latest_matching_baseline(backend: str, root: Optional[Path] = None):
+    """Newest committed baseline measured on ``backend`` (or None).
+
+    The like-with-like rule for ``--check``: a compiled run is never
+    gated against pure numbers (a broken build would look like a 2x
+    win) and a pure run is never gated against compiled numbers (every
+    pure run would look like a regression).
+    """
+    for __, path in reversed(bench_history_paths(root)):
+        doc = load_baseline(path)
+        if doc_backend(doc) == backend:
+            return path, doc
+    return None, None
+
+
 def check_against_baseline(current: Dict[str, object],
                            baseline: Dict[str, object],
                            tolerance: float) -> List[str]:
-    """Regressions beyond ``tolerance``, as readable failure lines."""
+    """Regressions beyond ``tolerance``, as readable failure lines.
+
+    The headline and sweep aggregates gate at ``tolerance``; each
+    micro point gates at ``tolerance * MICRO_POINT_MARGIN``, because a
+    single ~1s point carries much more scheduling noise than the
+    aggregate and a tight per-point gate flakes on shared hosts.
+    """
     failures = []
 
-    def compare(label: str, now: float, then: float) -> None:
+    def compare(label: str, now: float, then: float,
+                margin: float = 1.0) -> None:
         if then <= 0:
             return
-        floor = then * (1.0 - tolerance)
+        allowed = tolerance * margin
+        floor = then * (1.0 - allowed)
         if now < floor:
             failures.append(
                 "%s regressed: %.0f -> %.0f (-%.1f%%, tolerance %.0f%%)"
                 % (label, then, now, 100.0 * (1.0 - now / then),
-                   100.0 * tolerance))
+                   100.0 * allowed))
 
     compare("spellcheck steps/sec",
             float(current["spellcheck_steps_per_sec"]),
@@ -238,7 +303,8 @@ def check_against_baseline(current: Dict[str, object],
         if key in base_micro:
             compare("micro %s w=%d steps/sec" % key,
                     float(point["steps_per_sec"]),
-                    float(base_micro[key]["steps_per_sec"]))
+                    float(base_micro[key]["steps_per_sec"]),
+                    margin=MICRO_POINT_MARGIN)
     if "sweep" in baseline:
         compare("sweep points/sec",
                 float(current["sweep"]["points_per_sec"]),
@@ -416,37 +482,87 @@ def bench_ab_metrics(scale: Optional[float] = None,
     return doc
 
 
+def bench_ab_backends(micro_scale: Optional[float] = None,
+                      repeats: Optional[int] = None,
+                      quiet: bool = False) -> Dict[str, object]:
+    """Pure-vs-compiled A/B of the micro suite (same workloads, same
+    scale, interleaved by point so ambient load hits both sides)."""
+    micro_scale = (micro_scale if micro_scale is not None
+                   else _env_float("REPRO_BENCH_SCALE", DEFAULT_MICRO_SCALE))
+    repeats = (repeats if repeats is not None
+               else _env_int("REPRO_BENCH_REPEATS", DEFAULT_REPEATS))
+    if not backend_mod.compiled_available():
+        raise SystemExit("--ab-backends needs the compiled extension; "
+                         "build it with: python setup.py build_ext "
+                         "--inplace")
+    sides: Dict[str, List[Dict[str, object]]] = {"pure": [],
+                                                 "compiled": []}
+    for scheme in SCHEMES:
+        for n_windows in MICRO_WINDOWS:
+            for backend in ("pure", "compiled"):
+                point = bench_micro_point(scheme, n_windows, micro_scale,
+                                          repeats, backend=backend)
+                sides[backend].append(point)
+    doc: Dict[str, object] = {"micro_scale": micro_scale,
+                              "repeats": repeats}
+    for backend, points in sides.items():
+        steps = sum(p["steps"] for p in points)
+        wall = sum(p["wall_s"] for p in points)
+        doc[backend] = {
+            "micro": points,
+            "spellcheck_steps_per_sec": round(steps / wall, 1),
+        }
+    speedup = (doc["compiled"]["spellcheck_steps_per_sec"]
+               / doc["pure"]["spellcheck_steps_per_sec"])
+    doc["speedup"] = round(speedup, 3)
+    if not quiet:
+        for backend in ("pure", "compiled"):
+            for point in doc[backend]["micro"]:
+                print("ab %-8s %-3s w=%-2d  %10.0f steps/s"
+                      % (backend, point["scheme"], point["n_windows"],
+                         point["steps_per_sec"]))
+        print("ab backends: pure %.0f vs compiled %.0f steps/s "
+              "(x%.2f)"
+              % (doc["pure"]["spellcheck_steps_per_sec"],
+                 doc["compiled"]["spellcheck_steps_per_sec"], speedup))
+    return doc
+
+
 def render_history(docs: List[Dict[str, object]],
                    tolerance: float = DEFAULT_TOLERANCE) -> str:
     """Trend table over successive benchmark documents.
 
-    Deltas compare each baseline to its predecessor; a drop beyond
-    ``tolerance`` on the headline is flagged REGRESSED.
+    Deltas compare each baseline to its predecessor *on the same
+    backend* (numbers are only comparable like-with-like); a drop
+    beyond ``tolerance`` on the headline is flagged REGRESSED.
     """
     from repro.metrics.reporting import format_table
 
     rows = []
-    prev = None
+    prev_by_backend: Dict[str, float] = {}
     for doc in docs:
+        backend = doc_backend(doc)
         headline = float(doc["spellcheck_steps_per_sec"])
         micro8 = {p["scheme"]: p["steps_per_sec"]
                   for p in doc.get("micro", []) if p["n_windows"] == 8}
         sweep = float(doc.get("sweep", {}).get("points_per_sec", 0))
+        prev = prev_by_backend.get(backend)
         if prev is None or prev <= 0:
             delta, flag = "", ""
         else:
             change = headline / prev - 1.0
             delta = "%+.1f%%" % (100.0 * change)
             flag = "REGRESSED" if change < -tolerance else ""
-        rows.append([doc.get("bench_id", "?"), "%.0f" % headline, delta,
+        rows.append([doc.get("bench_id", "?"), backend,
+                     "%.0f" % headline, delta,
                      "%.0f" % micro8.get("NS", 0),
                      "%.0f" % micro8.get("SNP", 0),
                      "%.0f" % micro8.get("SP", 0),
                      "%.2f" % sweep, flag])
-        prev = headline
+        prev_by_backend[backend] = headline
     return format_table(
-        ["bench", "steps/s", "delta", "NS w=8", "SNP w=8", "SP w=8",
-         "sweep pts/s", ""],
+        ["bench", "backend", "steps/s", "delta", "NS w=8", "SNP w=8",
+         "SP w=8", "sweep pts/s", ""],
         rows, title="perf history (headline spellcheck steps/sec)")
 
 
@@ -480,6 +596,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                                            DEFAULT_AB_TOLERANCE),
                         help="max fractional telemetry overhead for "
                              "--ab-metrics (default 0.03)")
+    parser.add_argument("--backend", choices=("compiled", "pure"),
+                        default=None,
+                        help="execution backend to measure (default: "
+                             "$REPRO_BACKEND or auto-detect); recorded "
+                             "in the document, and --check gates only "
+                             "against a baseline measured on the same "
+                             "backend")
+    parser.add_argument("--ab-backends", action="store_true",
+                        help="run the micro suite on both backends "
+                             "back-to-back and report the speedup "
+                             "(needs the compiled extension built)")
     parser.add_argument("--micro-scale", type=float, default=None)
     parser.add_argument("--sweep-scale", type=float, default=None)
     parser.add_argument("--repeats", type=int, default=None)
@@ -513,11 +640,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                                    100.0 * args.ab_tolerance))
         return 0
 
+    if args.ab_backends:
+        ab = bench_ab_backends(micro_scale=args.micro_scale,
+                               repeats=args.repeats)
+        if args.out:
+            atomic_write_text(Path(args.out),
+                              json.dumps(ab, indent=2, sort_keys=True)
+                              + "\n")
+            print("wrote %s" % args.out)
+        return 0
+
     current = run_suite(micro_scale=args.micro_scale,
                         sweep_scale=args.sweep_scale,
-                        repeats=args.repeats)
-    baseline_path = (Path(args.baseline) if args.baseline
-                     else BASELINE_PATH)
+                        repeats=args.repeats,
+                        backend=args.backend)
+    backend = str(current["settings"]["backend"])
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+    elif args.check:
+        # like-with-like: gate against the newest baseline measured on
+        # the same backend, never across backends
+        baseline_path, _doc = latest_matching_baseline(backend)
+    else:
+        baseline_path = BASELINE_PATH
 
     if args.out:
         atomic_write_text(Path(args.out),
@@ -550,11 +695,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.check:
-        if not baseline_path.exists():
-            print("no baseline at %s; run with --update first"
-                  % baseline_path, file=sys.stderr)
+        if baseline_path is None or not baseline_path.exists():
+            print("no committed %s-backend baseline; run with --update "
+                  "first" % backend, file=sys.stderr)
             return 2
         baseline = load_baseline(baseline_path)
+        base_backend = doc_backend(baseline)
+        if base_backend != backend:
+            print("baseline %s was measured on the %s backend, current "
+                  "run on %s; refusing a cross-backend gate"
+                  % (baseline_path.name, base_backend, backend),
+                  file=sys.stderr)
+            return 2
         failures = check_against_baseline(current, baseline,
                                           args.tolerance)
         if failures:
@@ -562,10 +714,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print("FAIL: %s" % line, file=sys.stderr)
             return 1
         print("bench check OK: headline %.0f steps/s vs baseline %.0f "
-              "(tolerance %.0f%%)"
+              "(%s backend, tolerance %.0f%%)"
               % (current["spellcheck_steps_per_sec"],
                  baseline["spellcheck_steps_per_sec"],
-                 100.0 * args.tolerance))
+                 backend, 100.0 * args.tolerance))
     return 0
 
 

@@ -32,7 +32,7 @@ def check_document(document: bytes, dict1: bytes, dict2: bytes,
                    m: int, n: int, scheme: str, n_windows: int,
                    instrument=None, faults=None, audit: bool = False,
                    watchdog=None, crash_dir=None, crash_config=None,
-                   core=None):
+                   core=None, backend=None):
     """Run the pipeline over arbitrary document bytes.
 
     ``instrument`` (optional) receives the kernel before spawning, so
@@ -50,7 +50,7 @@ def check_document(document: bytes, dict1: bytes, dict2: bytes,
                     verify_registers=faults is not None,
                     faults=faults, audit=audit, watchdog=watchdog,
                     crash_dir=crash_dir, crash_config=crash_config,
-                    core=core)
+                    core=core, backend=backend)
     if instrument is not None:
         instrument(kernel)
     s1 = kernel.stream(m, "S1")
@@ -116,10 +116,19 @@ def main(argv=None) -> int:
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write the repro.metrics-snapshot JSON here "
                              "(implies --metrics)")
-    parser.add_argument("--core", choices=("batched", "generator"),
+    parser.add_argument("--core", choices=("batched",),
                         default=None,
                         help="execution core (default: $REPRO_CORE or "
-                             "the batched run-until-event core)")
+                             'the batched run-until-event core; the '
+                             'step-granular "generator" core was retired '
+                             "and lives on only as the test suite's "
+                             "reference loop)")
+    parser.add_argument("--backend", choices=("compiled", "pure"),
+                        default=None,
+                        help="execution backend (default: $REPRO_BACKEND "
+                             "or auto-detect: the compiled repro._fast "
+                             "fast path when built, else the pure-Python "
+                             "loop)")
     args = parser.parse_args(argv)
 
     if args.file:
@@ -182,7 +191,7 @@ def main(argv=None) -> int:
             args.windows, instrument=instrument, faults=injector,
             audit=args.audit, watchdog=args.watchdog,
             crash_dir=args.crash_dir, crash_config=crash_config,
-            core=args.core)
+            core=args.core, backend=args.backend)
     except Exception as exc:
         from repro.errors import ReproError
 

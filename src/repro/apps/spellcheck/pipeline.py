@@ -101,7 +101,9 @@ def run_spellchecker(n_windows: int, scheme: str, config: SpellConfig,
                      watchdog: Optional[int] = None, crash_dir=None,
                      crash_config=None,
                      core: Optional[str] = None,
-                     analyze: bool = False) -> Tuple[RunResult, bytes]:
+                     analyze: bool = False,
+                     backend: Optional[str] = None,
+                     ) -> Tuple[RunResult, bytes]:
     """Build and run the pipeline; returns (result, misspelling report).
 
     ``verify_registers`` defaults to False here (unlike the kernel
@@ -117,9 +119,11 @@ def run_spellchecker(n_windows: int, scheme: str, config: SpellConfig,
     ``crash_dir`` is set and no explicit ``crash_config`` is given, a
     replayable workload description is embedded in any crash bundle.
 
-    ``core`` selects the execution core ("batched"/"generator"; see
+    ``core`` selects the execution core (see
     :mod:`repro.runtime.batch`) — None picks up ``$REPRO_CORE`` or the
-    batched default.
+    batched default.  ``backend`` selects the execution backend
+    ("compiled"/"pure"; see :mod:`repro.runtime.backend`) — None picks
+    up ``$REPRO_BACKEND`` or auto-detects.
 
     ``analyze`` runs the static stream-topology check
     (:mod:`repro.analysis.topology`) before the first step; a
@@ -138,7 +142,7 @@ def run_spellchecker(n_windows: int, scheme: str, config: SpellConfig,
                     verify_registers=verify_registers,
                     faults=faults, audit=audit, watchdog=watchdog,
                     crash_dir=crash_dir, crash_config=crash_config,
-                    core=core, analyze=analyze)
+                    core=core, analyze=analyze, backend=backend)
     if instrument is not None:
         instrument(kernel)
     build_spellchecker(kernel, config)

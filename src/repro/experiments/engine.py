@@ -34,7 +34,6 @@ import os
 import signal
 import time
 import traceback
-import warnings
 from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -300,24 +299,16 @@ def _normalize_error(err) -> Optional[Dict[str, object]]:
 
 
 def _unpack(result):
-    """Normalise a runner result to ``(index, report, err, wall_ms)``.
+    """Validate a runner result as ``(index, report, err, wall_ms)``.
 
-    The built-in runner reports its wall time as a fourth element.
-    The historical 3-tuple is still accepted for one release —
-    counting as zero wall time, with a :class:`DeprecationWarning` —
-    and any other shape is rejected outright rather than sliced into
-    shape, so a runner protocol change (e.g. a report growing a
-    separate metrics member) can never be silently dropped.
+    Every runner — built-in or custom — reports its wall time as the
+    fourth element.  Any other shape is rejected outright rather than
+    sliced into shape, so a runner protocol change (e.g. a report
+    growing a separate metrics member, or a runner still speaking the
+    long-removed 3-tuple dialect) can never be silently dropped.
     """
     if len(result) == 4:
         return result
-    if len(result) == 3:
-        warnings.warn(
-            "engine runners should return (index, report, err, wall_ms); "
-            "the 3-tuple protocol is deprecated and counts as zero wall "
-            "time", DeprecationWarning, stacklevel=2)
-        index, report, err = result
-        return index, report, err, 0.0
     raise TypeError(
         "runner returned a %d-tuple; expected (index, report, err, "
         "wall_ms)" % len(result))

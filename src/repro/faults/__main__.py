@@ -181,7 +181,10 @@ def main(argv=None) -> int:
                         help="comma-separated workload names "
                              "(default: all registered)")
     fuzz_p.add_argument("--schemes", default="NS,SNP,SP")
-    fuzz_p.add_argument("--cores", default="batched,generator")
+    fuzz_p.add_argument("--cores", default="batched",
+                        help='execution cores to draw trials from; the '
+                             'retired "generator" name is still accepted '
+                             'for bundle-compatible replay draws')
     fuzz_p.add_argument("--trial-budget", type=int, default=300_000,
                         metavar="STEPS")
     fuzz_p.add_argument("--no-minimize", action="store_true",

@@ -213,13 +213,17 @@ def run_workload(config: Dict[str, Any], faults=None, crash_dir=None,
     The run executes under the config's recorded execution ``core`` —
     an explicit core always beats ``$REPRO_CORE``, so a bundle
     captured on the step-granular path can never silently replay on a
-    different core.
+    different core.  Bundles recorded before the ``"generator"`` core
+    retired from the public ``core=`` switch still replay on the
+    reference trampoline: the retired name maps to forcing the
+    step-granular loop on an otherwise-batched kernel.
 
     ``trial_budget`` caps steps *without* entering the config (the
     minimizer's runaway guard for candidate runs); a ``max_steps`` in
     the config itself is part of the replayed run and is recorded.
     Raises whatever the run raises.
     """
+    from repro.runtime.batch import RETIRED_GENERATOR_CORE
     from repro.runtime.kernel import Kernel
 
     workload = get_workload(str(config.get("workload")))
@@ -227,6 +231,8 @@ def run_workload(config: Dict[str, Any], faults=None, crash_dir=None,
     if trial_budget is not None:
         max_steps = (trial_budget if max_steps is None
                      else min(max_steps, trial_budget))
+    core = config.get("core")
+    reference = core == RETIRED_GENERATOR_CORE
     kernel = Kernel(
         n_windows=int(config.get("n_windows", 8)),
         scheme=str(config.get("scheme", "SP")),
@@ -236,6 +242,12 @@ def run_workload(config: Dict[str, Any], faults=None, crash_dir=None,
         watchdog=int(config.get("watchdog", 0)) or None,
         crash_dir=crash_dir,
         crash_config=config,
-        core=config.get("core"))
+        core="batched" if reference else core)
+    if reference:
+        # recorded on the retired step-granular core: force the
+        # reference trampoline so the replay never silently runs on
+        # the batched path (bit-identical, but the bundle's recorded
+        # core is part of the reproduction recipe)
+        kernel.core = RETIRED_GENERATOR_CORE
     workload.build(kernel, config)
     return kernel.run(max_steps=max_steps)

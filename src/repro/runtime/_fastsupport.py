@@ -1,0 +1,82 @@
+"""Cold-path raise helpers for the compiled backend (:mod:`repro._fast`).
+
+The C loop in ``src/repro/_fastcore.c`` mirrors
+:meth:`repro.runtime.kernel.Kernel._run_batched` instruction for
+instruction, but error construction is deliberately delegated back to
+Python: every message below is a byte-for-byte copy of the batched
+loop's raise sites, so the differential harness's error-identity
+assertions (type + message) hold across backends without duplicating
+``%``-formatting semantics in C.
+
+Each helper raises unconditionally; the C caller sees the NULL return
+and unwinds with its accumulator folds, exactly like the pure loop's
+``finally`` blocks.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.errors import RuntimeFault
+from repro.runtime.streams import StreamClosedError
+from repro.windows.errors import WindowGeometryError, WindowIntegrityError
+
+
+def raise_finish_depth(thread, tw):
+    raise WindowIntegrityError(
+        "thread %s finished at call depth %d" % (thread.name, tw.depth))
+
+
+def raise_bad_signature(thread, tw, sig):
+    raise WindowIntegrityError(
+        "thread %s frame signature corrupted: %r at depth %d"
+        % (thread.name, sig, tw.depth),
+        thread=thread.name, depth=tw.depth)
+
+
+def raise_restore_depth(tw):
+    raise WindowGeometryError(
+        "thread %d executed restore at depth %d" % (tw.tid, tw.depth))
+
+
+def raise_return_corrupt(thread, tw, got, value):
+    raise WindowIntegrityError(
+        "return value of %s corrupted across restore: %r != %r"
+        % (thread.name, got, value),
+        thread=thread.name, depth=tw.depth)
+
+
+def raise_overflow_invalid(target, tw):
+    raise WindowGeometryError(
+        "overflow handler left target window %d invalid" % target,
+        window=target, thread=tw.tid)
+
+
+def raise_arg_corrupt(i, thread, tw, got, a):
+    raise WindowIntegrityError(
+        "argument %d of %s corrupted across save: %r != %r"
+        % (i, thread.name, got, a),
+        thread=thread.name, argument=i, depth=tw.depth)
+
+
+def raise_write_closed(stream):
+    raise StreamClosedError(
+        "write to closed stream %r" % (stream.name,))
+
+
+def raise_readline_too_long(stream):
+    raise RuntimeFault(
+        "readline on %r: line longer than the stream capacity"
+        % stream.name)
+
+
+def raise_join_self(thread):
+    raise RuntimeFault("%s tried to join itself" % thread.name)
+
+
+def raise_bad_op(thread, cmd):
+    raise RuntimeFault(
+        "thread %s yielded %r; expected a runtime op"
+        % (thread.name, cmd))
+
+
+def raise_unknown_pending(kind):
+    raise RuntimeFault("unknown pending op %r" % kind)

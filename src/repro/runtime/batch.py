@@ -1,22 +1,24 @@
-"""Batch-exit reason codes and core selection for the execution cores.
+"""Batch-exit reason codes and core selection for the execution core.
 
-The kernel runs each quantum through one of two execution cores:
+The kernel runs each quantum through the ``"batched"`` run-until-event
+core: the current thread executes a straight-line batch of steps inside
+one Python frame (:meth:`repro.runtime.kernel.Kernel._run_batched`,
+which fuses the dispatch loop and the batch executor into one frame),
+leaving the batch only on a *batch-exit event* — block, yield,
+completion — with cycle accounting and per-thread statistics folded
+once per batch instead of once per step.
 
-* ``"batched"`` — the run-until-event core: the current thread executes
-  a straight-line batch of steps inside one Python frame
-  (:meth:`repro.runtime.kernel.Kernel._run_batched`, which fuses the
-  dispatch loop and the batch executor into one frame), leaving the
-  batch only on a *batch-exit event* — block, yield, completion — with
-  cycle accounting and per-thread statistics folded once per batch
-  instead of once per step;
-* ``"generator"`` — the reference step-granular trampoline
-  (:meth:`repro.runtime.kernel.Kernel._run_quantum`), kept for one
-  release behind this switch so the differential harness can A/B the
-  two cores, and still used by the batched core itself whenever a
-  configuration needs step granularity (fault injection, watchdog,
-  audit, tracing, step budgets).
+The step-granular generator trampoline
+(:meth:`repro.runtime.kernel.Kernel._run_quantum`) is no longer a
+public core choice: it survives as the batched core's compat path for
+configurations that need per-step hooks (fault injection, watchdog,
+audit, tracing, step budgets) and as the differential harness's
+reference loop (forced through ``tests/support/trampoline.py``, never
+through ``core=``).  Crash bundles recorded on the retired core still
+replay on it — :func:`repro.faults.workloads.run_workload` maps the
+recorded name to the reference loop.
 
-Both cores are required to be *bit-identical*: same counters, same
+Both loops are required to be *bit-identical*: same counters, same
 per-thread statistics, same trace-event sequences, same step counts
 (``tests/core/test_batched_vs_trampoline.py`` enforces this).
 
@@ -48,8 +50,13 @@ EXIT_NAMES = {
     EXIT_BUDGET: "budget",
 }
 
-#: the two execution cores (order: default first)
-CORES = ("batched", "generator")
+#: the public execution cores (order: default first)
+CORES = ("batched",)
+
+#: the retired step-granular core's name — still recognized (with a
+#: pointer error from :func:`resolve_core`, and a replay mapping in
+#: ``repro.faults.workloads``) but no longer constructible via ``core=``
+RETIRED_GENERATOR_CORE = "generator"
 
 #: environment override consulted when no explicit ``core=`` is given —
 #: how CI A/Bs a whole run (benchmarks, sweeps) without plumbing
@@ -60,10 +67,18 @@ def resolve_core(core=None) -> str:
     """Validate a ``core=`` choice, applying the env-var default.
 
     An explicit argument wins; otherwise ``$REPRO_CORE`` is consulted,
-    and the batched core is the default.
+    and the batched core is the default.  The retired ``"generator"``
+    core gets a pointer error rather than the generic unknown-core one.
     """
     if core is None:
         core = os.environ.get(ENV_CORE) or CORES[0]
+    if core == RETIRED_GENERATOR_CORE:
+        raise ValueError(
+            'the step-granular "generator" core was retired from the '
+            'public runtime; the batched core is bit-identical (the '
+            'reference trampoline remains available to the test suite '
+            'via tests/support/trampoline.py, and recorded crash '
+            'bundles still replay on it)')
     if core not in CORES:
         raise ValueError(
             "unknown execution core %r; expected one of %s"

@@ -95,11 +95,35 @@ class Kernel:
                  crash_dir=None,
                  crash_config: Optional[dict] = None,
                  core: Optional[str] = None,
-                 analyze: bool = False):
-        #: execution core: "batched" (run-until-event, the default) or
-        #: "generator" (the step-granular reference trampoline); an
-        #: explicit argument wins over the $REPRO_CORE override
+                 analyze: bool = False,
+                 backend: Optional[str] = None):
+        from repro.runtime import backend as backend_mod
+
+        #: execution core: "batched" (run-until-event, the default);
+        #: an explicit argument wins over the $REPRO_CORE override
         self.core = resolve_core(core)
+        #: effective execution backend ("compiled"/"pure"); precedence
+        #: backend= kwarg > $REPRO_BACKEND > auto-detect, with graceful
+        #: fallback to pure when repro._fast is not built
+        requested = backend_mod.requested_backend(backend)
+        self.backend = backend_mod.select_backend(backend)
+        self._fast = (backend_mod.load_fast()
+                      if self.backend == "compiled" else None)
+        if self._fast is not None and (faults is not None or audit
+                                       or watchdog):
+            # These hooks observe individual steps, so such runs take
+            # the step-granular pure loop regardless of backend (the
+            # batchable gate below routes them); only an *explicit*
+            # compiled request warns about it.
+            if requested == "compiled":
+                needs = [name for name, on in (
+                    ("fault injection", faults is not None),
+                    ("invariant audit", audit),
+                    ("watchdog", bool(watchdog))) if on]
+                backend_mod.warn_step_granular_fallback(
+                    " + ".join(needs))
+            self.backend = "pure"
+            self._fast = None
         self.counters = counters if counters is not None else Counters()
         self.cpu = WindowCPU(n_windows, cost_model, self.counters)
         kwargs = dict(scheme_kwargs or {})
@@ -289,6 +313,7 @@ class Kernel:
         batchable = (self.core == "batched" and max_steps is None
                      and self._watchdog is None and self.faults is None
                      and not self.audit)
+        fast = self._fast
         while True:
             if self.current is None:
                 if not self.ready:
@@ -301,7 +326,10 @@ class Kernel:
                 # Runs quanta back-to-back (dispatch included) until
                 # everything is done/blocked or tracing comes alive;
                 # the loop here re-checks deadlock and tracing.
-                self._run_batched()
+                if fast is not None:
+                    fast.run_batched(self)
+                else:
+                    self._run_batched()
             else:
                 self._run_quantum(max_steps)
             if max_steps is not None and self._steps >= max_steps:
@@ -548,6 +576,7 @@ class Kernel:
         save_cost = cpu._save_instr_cost
         restore_cost = cpu._restore_instr_cost
         prof = self._profiler
+        prof_cd = prof._cd if prof is not None else 0
         handle_overflow = scheme.handle_overflow
         handle_underflow = scheme.handle_underflow
         context_switch = scheme.context_switch
@@ -557,7 +586,7 @@ class Kernel:
         do_close = self._do_close
         queue = ready._queue
         popleft = queue.popleft
-        queue_append = queue.append
+        queue_extend = queue.extend
         # Plain FIFO with no fault injector attached: a wake is exactly
         # "state = READY, append to the deque" (the push_woken fast
         # path); neither condition can change during a run.  Tracing
@@ -624,7 +653,7 @@ class Kernel:
                                         for waiter in stream.read_waiters:
                                             waiter.blocked_on = None
                                             waiter.state = READY_
-                                            queue_append(waiter)
+                                        queue_extend(stream.read_waiters)
                                         del stream.read_waiters[:]
                                     else:
                                         wake_readers(stream)
@@ -656,7 +685,7 @@ class Kernel:
                                         for waiter in stream.write_waiters:
                                             waiter.blocked_on = None
                                             waiter.state = READY_
-                                            queue_append(waiter)
+                                        queue_extend(stream.write_waiters)
                                         del stream.write_waiters[:]
                                     else:
                                         wake_writers(stream)
@@ -690,7 +719,7 @@ class Kernel:
                                         for waiter in stream.write_waiters:
                                             waiter.blocked_on = None
                                             waiter.state = READY_
-                                            queue_append(waiter)
+                                        queue_extend(stream.write_waiters)
                                         del stream.write_waiters[:]
                                     else:
                                         wake_writers(stream)
@@ -847,7 +876,8 @@ class Kernel:
                                                     stream.write_waiters:
                                                 waiter.blocked_on = None
                                                 waiter.state = READY_
-                                                queue_append(waiter)
+                                            queue_extend(
+                                                stream.write_waiters)
                                             del stream.write_waiters[:]
                                         else:
                                             wake_writers(stream)
@@ -894,7 +924,7 @@ class Kernel:
                                                 stream.read_waiters:
                                             waiter.blocked_on = None
                                             waiter.state = READY_
-                                            queue_append(waiter)
+                                        queue_extend(stream.read_waiters)
                                         del stream.read_waiters[:]
                                     else:
                                         wake_readers(stream)
@@ -957,7 +987,7 @@ class Kernel:
                                     for waiter in stream.write_waiters:
                                         waiter.blocked_on = None
                                         waiter.state = READY_
-                                        queue_append(waiter)
+                                    queue_extend(stream.write_waiters)
                                     del stream.write_waiters[:]
                                 else:
                                     wake_writers(stream)
@@ -1022,17 +1052,19 @@ class Kernel:
                         tw.stat_restores += n_restores
                         thread.returns += n_restores
                     if prof is not None:
-                        # The profiler reads counters.total_cycles, so
-                        # the cycle accumulators fold early here.
-                        if compute:
-                            counters.compute_cycles += compute
-                            compute = 0
-                        if call_cycles:
-                            counters.call_cycles += call_cycles
-                            call_cycles = 0
-                        prof._cd -= 1
-                        if prof._cd <= 0:
+                        prof_cd -= 1
+                        if prof_cd <= 0:
+                            # The profiler reads counters.total_cycles,
+                            # so the cycle accumulators fold before the
+                            # sample (only on expiry, not per quantum).
+                            if compute:
+                                counters.compute_cycles += compute
+                                compute = 0
+                            if call_cycles:
+                                counters.call_cycles += call_cycles
+                                call_cycles = 0
                             prof._check(thread, None, counters)
+                            prof_cd = prof._cd
                 # Dispatch the next thread without leaving the frame.
                 if self._tracing:
                     return  # a subscriber attached mid-run: compat loop
@@ -1068,6 +1100,8 @@ class Kernel:
                 counters.saves += saves_total
             if restores_total:
                 counters.restores += restores_total
+            if prof is not None:
+                prof._cd = prof_cd
 
     # -- call / return ----------------------------------------------------------
 

@@ -16,8 +16,8 @@ from repro.analysis import AbstractMachine, ProbeKernel, analyze_kernel
 from repro.analysis.verifier import corpus_cases
 from repro.isa import Machine, assemble
 from repro.runtime.errors import DeadlockError
-from repro.runtime.kernel import Kernel
 from repro.runtime.ops import Read, Write
+from tests.support.trampoline import make_kernel
 
 SCHEMES = ("NS", "SNP", "SP")
 WINDOW_COUNTS = (8, 32)
@@ -161,7 +161,7 @@ def test_static_deadlock_verdict_matches_dynamic(core):
     report = analyze_kernel(probe)
     assert [f.rule for f in report.errors] == ["stream-never-written"]
 
-    kernel = Kernel(n_windows=8, scheme="SP", core=core)
+    kernel = make_kernel(core=core, n_windows=8, scheme="SP")
     _build_deadlocked(kernel)
     with pytest.raises(DeadlockError):
         kernel.run()
@@ -170,7 +170,7 @@ def test_static_deadlock_verdict_matches_dynamic(core):
     _build_clean(probe)
     assert analyze_kernel(probe).ok
 
-    kernel = Kernel(n_windows=8, scheme="SP", core=core)
+    kernel = make_kernel(core=core, n_windows=8, scheme="SP")
     _build_clean(kernel)
     kernel.run()  # completes
 
@@ -188,7 +188,7 @@ def test_cycle_candidates_are_candidates_not_errors(core):
     assert report.ok
     assert report.meta["cycles"], "the write/read cycle must be seen"
 
-    kernel = Kernel(n_windows=8, scheme="SNP", core=core)
+    kernel = make_kernel(core=core, n_windows=8, scheme="SNP")
     spawn_ping_pong(kernel, rounds=4)
     kernel.run()  # completes despite the cycle
 

@@ -1,12 +1,17 @@
-"""Differential equivalence harness: batched core vs generator core.
+"""Differential equivalence harness: batched core vs the reference loop.
 
 The run-until-event core (``core="batched"``) must be *bit-identical*
-to the step-granular generator trampoline (``core="generator"``): same
-step counts, same counters (including the switch/trap cycle sums and
+to the step-granular reference trampoline (the retired "generator"
+core, reachable only through ``tests.support.trampoline``): same step
+counts, same counters (including the switch/trap cycle sums and
 transfer histograms), same per-thread statistics, same trace record
 sequences, same thread results — across every scheme and window-file
-size.  This suite drives both cores over the same workloads and
-compares full run snapshots:
+size.  The batched core itself has two *backends* — the pure-Python
+loop and the optional compiled twin (:mod:`repro._fast`) — and every
+comparison here runs on each backend that is built, so the compiled
+path is pinned against the same reference.  This suite drives every
+(core, backend) variant over the same workloads and compares full run
+snapshots:
 
 * deterministic synthetic apps (stream pipeline, spawn/join tree,
   line-oriented protocol) over NS/SNP/SP x {8, 32} windows;
@@ -27,7 +32,6 @@ from repro import (
     Call,
     CloseStream,
     Join,
-    Kernel,
     Read,
     ReadLine,
     Spawn,
@@ -35,10 +39,16 @@ from repro import (
     Write,
     YieldCPU,
 )
+from repro.runtime.backend import compiled_available
+from tests.support.trampoline import force_trampoline, make_kernel
 
 SCHEMES = ("NS", "SNP", "SP")
 WINDOW_SIZES = (8, 32)
-CORES = ("generator", "batched")
+#: execution backends of the batched core to pin against the reference
+BACKENDS = ("pure",) + (("compiled",) if compiled_available() else ())
+#: every (core, backend) execution variant under test
+VARIANTS = (("generator", "pure"),) + tuple(
+    ("batched", backend) for backend in BACKENDS)
 
 COUNTER_FIELDS = (
     "saves", "restores", "overflow_traps", "underflow_traps",
@@ -70,9 +80,11 @@ def snapshot(kernel, result, error):
     return snap
 
 
-def run_core(core, build, scheme, n_windows, keep_trace=True, **kw):
+def run_core(core, build, scheme, n_windows, keep_trace=True,
+             backend="pure", **kw):
     """Build a workload on a fresh kernel and run it to the end."""
-    kernel = Kernel(n_windows=n_windows, scheme=scheme, core=core, **kw)
+    kernel = make_kernel(core=core, n_windows=n_windows, scheme=scheme,
+                         backend=backend, **kw)
     kernel.counters.keep_trace = keep_trace
     build(kernel)
     result = error = None
@@ -88,16 +100,18 @@ def run_core(core, build, scheme, n_windows, keep_trace=True, **kw):
 
 def assert_equivalent(build, scheme, n_windows, **kw):
     gen = run_core("generator", build, scheme, n_windows, **kw)
-    bat = run_core("batched", build, scheme, n_windows, **kw)
-    assert gen == bat, _diff(gen, bat)
+    for backend in BACKENDS:
+        bat = run_core("batched", build, scheme, n_windows,
+                       backend=backend, **kw)
+        assert gen == bat, _diff(gen, bat, backend)
 
 
-def _diff(gen, bat):
-    lines = ["cores diverged:"]
+def _diff(gen, bat, backend):
+    lines = ["cores diverged (batched backend: %s):" % backend]
     for key in gen:
         if gen[key] != bat[key]:
             lines.append("  %s:" % key)
-            lines.append("    generator: %r" % (gen[key],))
+            lines.append("    reference: %r" % (gen[key],))
             lines.append("    batched:   %r" % (bat[key],))
     return "\n".join(lines)
 
@@ -237,16 +251,19 @@ def test_register_verification_on(scheme):
 def test_event_bus_traces_identical(scheme):
     """With a live event-bus subscriber both cores take the
     step-granular path; the recorded event streams must still match
-    exactly under ``core="batched"``."""
+    exactly under ``core="batched"`` on every backend."""
 
-    def run_traced(core):
-        kernel = Kernel(n_windows=8, scheme=scheme, core=core)
+    def run_traced(core, backend="pure"):
+        kernel = make_kernel(core=core, n_windows=8, scheme=scheme,
+                             backend=backend)
         recorder = kernel.enable_tracing()
         build_pipeline(kernel)
         kernel.run()
         return [(e.kind, e.cycle, e.tid, e.attrs) for e in recorder]
 
-    assert run_traced("generator") == run_traced("batched")
+    reference = run_traced("generator")
+    for backend in BACKENDS:
+        assert reference == run_traced("batched", backend)
 
 
 # -- hypothesis-driven random programs -----------------------------------
@@ -339,9 +356,9 @@ GOLDEN_PIPELINE = {
 
 
 @pytest.mark.parametrize("scheme", SCHEMES)
-@pytest.mark.parametrize("core", CORES)
-def test_golden_pipeline_pins(scheme, core):
-    snap = run_core(core, build_pipeline, scheme, 8)
+@pytest.mark.parametrize("core,backend", VARIANTS)
+def test_golden_pipeline_pins(scheme, core, backend):
+    snap = run_core(core, build_pipeline, scheme, 8, backend=backend)
     counters = snap["counters"]
     total = (counters["compute_cycles"] + counters["call_cycles"]
              + counters["trap_cycles"] + counters["switch_cycles"])
@@ -358,13 +375,28 @@ GOLDEN_SPELLCHECK = {
 }
 
 
+def run_spell(scheme, n_windows, config, core, backend):
+    """``run_spellchecker`` on one (core, backend) execution variant.
+
+    The reference variant rides the ``instrument`` hook: the pipeline
+    builds a batched kernel and the hook pins it to the step-granular
+    trampoline before any thread spawns.
+    """
+    from repro.apps.spellcheck.pipeline import run_spellchecker
+
+    instrument = force_trampoline if core == "generator" else None
+    return run_spellchecker(
+        n_windows, scheme, config, backend=backend,
+        instrument=instrument)
+
+
 @pytest.mark.parametrize("scheme", SCHEMES)
-@pytest.mark.parametrize("core", CORES)
-def test_golden_spellcheck_pins(scheme, core):
-    from repro.apps.spellcheck.pipeline import SpellConfig, run_spellchecker
+@pytest.mark.parametrize("core,backend", VARIANTS)
+def test_golden_spellcheck_pins(scheme, core, backend):
+    from repro.apps.spellcheck.pipeline import SpellConfig
 
     config = SpellConfig.named("low", "medium", scale=0.05)
-    result, output = run_spellchecker(8, scheme, config, core=core)
+    result, output = run_spell(scheme, 8, config, core, backend)
     assert (result.steps,
             result.counters.context_switches) == GOLDEN_SPELLCHECK[scheme]
     assert output  # the pipeline actually produced corrections
@@ -373,19 +405,20 @@ def test_golden_spellcheck_pins(scheme, core):
 @pytest.mark.parametrize("n_windows", WINDOW_SIZES)
 @pytest.mark.parametrize("scheme", SCHEMES)
 def test_spellcheck_bit_identical(scheme, n_windows):
-    from repro.apps.spellcheck.pipeline import SpellConfig, run_spellchecker
+    from repro.apps.spellcheck.pipeline import SpellConfig
 
     config = SpellConfig.named("high", "medium", scale=0.05)
     runs = {}
-    for core in CORES:
-        result, output = run_spellchecker(n_windows, scheme, config,
-                                          core=core)
+    for core, backend in VARIANTS:
+        result, output = run_spell(scheme, n_windows, config, core, backend)
         c = result.counters
-        runs[core] = (
+        runs[core, backend] = (
             result.steps, output,
             {f: getattr(c, f) for f in COUNTER_FIELDS},
             dict(c.switch_transfer_hist),
             sorted((t.name, t.windows.stat_saves, t.windows.stat_restores,
                     t.windows.stat_switches) for t in result.threads),
         )
-    assert runs["generator"] == runs["batched"]
+    reference = runs["generator", "pure"]
+    for backend in BACKENDS:
+        assert runs["batched", backend] == reference, backend

@@ -179,7 +179,7 @@ class TestEngine:
         def flaky(task):
             attempts.append(task[0])
             if len(attempts) == 1:
-                return task[0], None, "Traceback ...\nOSError: flake\n"
+                return task[0], None, "Traceback ...\nOSError: flake\n", 1.0
             return fake_runner(task)
 
         engine = Engine(jobs=1, cache_dir=tmp_path, retries=1,
@@ -260,7 +260,7 @@ class TestFailurePolicy:
             calls.append(task[0])
             return task[0], None, {
                 "type": "InjectedStoreError", "transient": True,
-                "traceback": "Traceback ...\nInjectedStoreError: io\n"}
+                "traceback": "Traceback ...\nInjectedStoreError: io\n"}, 1.0
 
         engine = Engine(jobs=1, cache_dir=None, retries=2, runner=runner)
         with pytest.raises(EngineError):
@@ -274,7 +274,7 @@ class TestFailurePolicy:
 
         def runner(task):
             calls.append(task[0])
-            return task[0], None, "Traceback ...\nOSError: flake\n"
+            return task[0], None, "Traceback ...\nOSError: flake\n", 1.0
 
         engine = Engine(jobs=1, cache_dir=None, retries=1, runner=runner)
         with pytest.raises(EngineError):

@@ -1,5 +1,5 @@
 """Engine-side telemetry: the live metrics snapshot, the extended
-stats line, and the legacy-runner compatibility shim."""
+stats line, and the strict runner-result protocol."""
 
 import json
 
@@ -33,19 +33,16 @@ def timed_runner(task):
     return index, fake_report(PointSpec.from_payload(payload)), None, 12.5
 
 
-def legacy_runner(task):
-    """The historical 3-tuple protocol custom runners may still speak."""
-    index, payload = task
-    return index, fake_report(PointSpec.from_payload(payload)), None
-
-
 class TestUnpack:
-    def test_four_tuple_passthrough(self):
-        assert _unpack((3, {"r": 1}, None, 7.5)) == (3, {"r": 1}, None, 7.5)
+    def test_four_tuple_round_trips(self):
+        index, report, err, wall = _unpack((3, {"r": 1}, None, 7.5))
+        assert (index, report, err, wall) == (3, {"r": 1}, None, 7.5)
 
-    def test_legacy_three_tuple_round_trips_with_deprecation(self):
-        with pytest.warns(DeprecationWarning, match="3-tuple"):
-            assert _unpack((3, {"r": 1}, None)) == (3, {"r": 1}, None, 0.0)
+    def test_removed_three_tuple_protocol_rejected(self):
+        # The deprecated 3-tuple dialect was removed; a runner still
+        # speaking it must fail loudly, not count as zero wall time.
+        with pytest.raises(TypeError, match="3-tuple"):
+            _unpack((3, {"r": 1}, None))
 
     def test_unexpected_shapes_rejected_not_sliced(self):
         # A runner protocol drift (say, a report plus a detached
@@ -141,15 +138,14 @@ class TestLiveSnapshotFile:
         assert hists["engine_point_wall_ms"]["count"] == len(specs)
         assert hists["engine_point_wall_ms"]["sum"] == 12.5 * len(specs)
 
-    def test_legacy_runner_still_works_with_metrics(self, tmp_path):
-        out = tmp_path / "m.json"
-        engine = Engine(jobs=1, cache_dir=None, runner=legacy_runner,
-                        metrics_out=out)
-        specs = self._specs()
-        assert len(engine.run_reports(specs)) == len(specs)
-        snap = validate_snapshot(json.loads(out.read_text()))
-        hists = {p["name"]: p for p in snap["histograms"].values()}
-        assert hists["engine_point_wall_ms"]["sum"] == 0
+    def test_three_tuple_runner_fails_loudly(self):
+        def legacy_runner(task):
+            index, payload = task
+            return index, fake_report(PointSpec.from_payload(payload)), None
+
+        engine = Engine(jobs=1, cache_dir=None, runner=legacy_runner)
+        with pytest.raises(TypeError, match="3-tuple"):
+            engine.run_reports(self._specs())
 
     def test_no_metrics_out_writes_nothing(self, tmp_path):
         engine = Engine(jobs=1, cache_dir=None, runner=timed_runner)

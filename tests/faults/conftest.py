@@ -1,20 +1,31 @@
-"""Run the whole chaos suite under both execution cores.
+"""Run the whole chaos suite under every execution backend.
 
 Fault injection, the watchdog and the invariant audit force the kernel
-onto the step-granular loop even under ``core="batched"`` (they need
-per-step hooks), but the *decision* to fall back — and the surrounding
-batch boundaries in unfaulted reference runs — differ between the two
-cores.  Parameterizing via ``$REPRO_CORE`` (the same override CI uses)
-exercises every fault class, the watchdog and crash-bundle replay
-against both, without touching the individual tests.
+onto the step-granular loop (they need per-step hooks), but the
+*decision* to fall back — and the surrounding batch boundaries in
+unfaulted reference runs — depend on the ambient execution
+configuration.  Parameterizing via ``$REPRO_BACKEND`` (the same
+override CI uses) exercises every fault class, the watchdog and
+crash-bundle replay with the compiled backend both absent-from and
+present-in the selection, without touching the individual tests; when
+the compiled extension is not built, the sweep collapses to the pure
+backend alone.
 """
 
 import pytest
 
+from repro.runtime.backend import ENV_BACKEND, compiled_available
 from repro.runtime.batch import CORES, ENV_CORE
 
+BACKENDS = ("pure",) + (("compiled",) if compiled_available() else ())
 
-@pytest.fixture(autouse=True, params=CORES)
+SWEEP = tuple((core, backend) for core in CORES for backend in BACKENDS)
+
+
+@pytest.fixture(autouse=True, params=SWEEP,
+                ids=["%s-%s" % pair for pair in SWEEP])
 def execution_core(request, monkeypatch):
-    monkeypatch.setenv(ENV_CORE, request.param)
-    return request.param
+    core, backend = request.param
+    monkeypatch.setenv(ENV_CORE, core)
+    monkeypatch.setenv(ENV_BACKEND, backend)
+    return core

@@ -163,12 +163,13 @@ class TestCoreRecording:
                                             monkeypatch):
         """A bundle captured under one core must replay under that
         core even when the ambient ``$REPRO_CORE`` says otherwise —
-        the recorded core is part of the replay identity."""
-        from repro.runtime.batch import CORES, ENV_CORE
+        the recorded core is part of the replay identity.  The ambient
+        value here is the *retired* generator name, which would raise
+        if the replay ever consulted it."""
+        from repro.runtime.batch import ENV_CORE, RETIRED_GENERATOR_CORE
 
         exc = crash(tmp_path / "orig")
-        other = next(c for c in CORES if c != execution_core)
-        monkeypatch.setenv(ENV_CORE, other)
+        monkeypatch.setenv(ENV_CORE, RETIRED_GENERATOR_CORE)
         matched, new_path, detail = replay_bundle(
             exc.bundle_path, workdir=tmp_path / "replay")
         assert matched, detail

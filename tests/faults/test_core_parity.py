@@ -4,8 +4,8 @@ The differential harness (tests/core/test_batched_vs_trampoline.py)
 proves unfaulted runs bit-identical; this file pins the *faulted* side:
 for every fault class the injector's fired records (kind, site, trigger
 count and detail), the outcome, the error text and the cycle-domain
-counters must agree exactly between ``core="generator"`` and
-``core="batched"``.
+counters must agree exactly between the batched core and the
+step-granular reference trampoline (``tests.support.trampoline``).
 """
 
 import pytest
@@ -13,6 +13,7 @@ import pytest
 from repro.apps.spellcheck import SpellConfig, run_spellchecker
 from repro.errors import ReproError
 from repro.faults import FaultInjector, FaultPlan
+from tests.support.trampoline import force_trampoline
 
 SPEC_OF = {
     "register": "register@3:0",
@@ -45,7 +46,9 @@ def run_faulted(core, spec):
     try:
         result, output = run_spellchecker(
             N_WINDOWS, SCHEME, CONFIG, verify_registers=True,
-            faults=injector, audit=True, watchdog=200_000, core=core)
+            faults=injector, audit=True, watchdog=200_000,
+            instrument=(force_trampoline if core == "generator"
+                        else None))
     except ReproError as exc:
         error = exc
     snap = {

@@ -20,14 +20,14 @@ from repro.faults import (
 )
 from repro.runtime import LivelockError
 from repro.runtime.batch import ENV_CORE
-from repro.runtime.kernel import Kernel
+from tests.support.trampoline import make_kernel
 
 
 @pytest.fixture(autouse=True, params=["batched"])
 def execution_core(request, monkeypatch):
     """Override the suite-wide two-core sweep: these tests pin the
     ambient core to ``batched`` (the fallback under test) and reach
-    the generator core via explicit ``core=`` arguments instead."""
+    the reference trampoline via ``tests.support.trampoline``."""
     monkeypatch.setenv(ENV_CORE, request.param)
     return request.param
 
@@ -35,8 +35,8 @@ def execution_core(request, monkeypatch):
 def storm_kernel(core, watchdog=80, faults=None, **kwargs):
     from repro.apps.synthetic import spawn_yield_storm
 
-    kernel = Kernel(n_windows=4, scheme="SP", watchdog=watchdog,
-                    faults=faults, core=core, **kwargs)
+    kernel = make_kernel(core=core, n_windows=4, scheme="SP",
+                         watchdog=watchdog, faults=faults, **kwargs)
     spawn_yield_storm(kernel, n_spinners=2, spins=300)
     return kernel
 

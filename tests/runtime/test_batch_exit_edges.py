@@ -4,8 +4,9 @@ The run-until-event core leaves a batch only on block, yield,
 completion or (on the compat path) a step budget — and each of those
 boundaries has an edge where an off-by-one would be invisible to
 throughput tests but visible in the cycle ledger.  Every test here
-runs the same workload under ``core="generator"`` and
-``core="batched"`` and asserts the full counter state matches:
+runs the same workload on the batched core and on the step-granular
+reference trampoline (via ``tests.support.trampoline``) and asserts
+the full counter state matches:
 
 * a step budget expiring exactly on the step that takes a window
   overflow trap (is the trap's cycle cost folded or lost?);
@@ -20,7 +21,6 @@ import pytest
 from repro import (
     Call,
     CloseStream,
-    Kernel,
     Join,
     Read,
     Spawn,
@@ -30,6 +30,7 @@ from repro import (
 )
 from repro.errors import ReproError
 from repro.isa import Machine, MachineFault, assemble
+from tests.support.trampoline import make_kernel
 
 CORES = ("generator", "batched")
 
@@ -47,8 +48,8 @@ def counter_state(kernel):
 
 def run_core(core, build, max_steps=None, watchdog=None,
              scheme="SP", n_windows=6):
-    kernel = Kernel(n_windows=n_windows, scheme=scheme, core=core,
-                    watchdog=watchdog)
+    kernel = make_kernel(core=core, n_windows=n_windows, scheme=scheme,
+                         watchdog=watchdog)
     kernel.counters.keep_trace = True
     build(kernel)
     error = None

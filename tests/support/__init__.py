@@ -1,0 +1,1 @@
+"""Test-support helpers (not part of the :mod:`repro` package)."""

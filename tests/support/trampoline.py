@@ -1,0 +1,47 @@
+"""Test-only access to the retired step-granular reference loop.
+
+The ``"generator"`` execution core is no longer a public ``core=``
+choice (see :func:`repro.runtime.batch.resolve_core`): the batched
+core is the runtime, and the step-granular trampoline
+(:meth:`repro.runtime.kernel.Kernel._run_quantum`) survives only as
+
+* the batched core's compat path for configurations that need
+  per-step hooks (fault injection, watchdog, audit, tracing, step
+  budgets), and
+* the differential harness's *reference loop* — what the batched and
+  compiled backends are pinned bit-identical against.
+
+This module is the one sanctioned way for tests to run a kernel on
+that reference loop.  It works by flipping the resolved ``core``
+attribute *after* construction, which makes
+``Kernel._run_to_completion`` treat every quantum as non-batchable and
+route it through ``_run_quantum`` — the exact step-granular path the
+runtime itself uses for fault-injected runs.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.batch import RETIRED_GENERATOR_CORE
+from repro.runtime.kernel import Kernel
+
+#: the name tests use to parameterize over {reference, batched}
+REFERENCE_CORE = RETIRED_GENERATOR_CORE
+
+
+def force_trampoline(kernel: Kernel) -> Kernel:
+    """Pin an already-built kernel to the step-granular reference loop."""
+    kernel.core = REFERENCE_CORE
+    return kernel
+
+
+def make_kernel(core=None, **kwargs) -> Kernel:
+    """``Kernel(...)`` that still accepts ``core="generator"``.
+
+    Drop-in for test fixtures that parameterize over execution cores:
+    the retired name builds a batched kernel and forces the reference
+    trampoline; anything else is passed through to ``Kernel`` (and
+    validated there).
+    """
+    if core == REFERENCE_CORE:
+        return force_trampoline(Kernel(core="batched", **kwargs))
+    return Kernel(core=core, **kwargs)
